@@ -1,0 +1,58 @@
+//! Criterion ablation: crypto-erasure vs physical permanent deletion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datacase_core::grounding::erasure::ErasureInterpretation;
+use datacase_engine::db::{Actor, CompliantDb};
+use datacase_engine::erasure::erase_now;
+use datacase_engine::profiles::EngineConfig;
+use datacase_workloads::gdprbench::GdprBench;
+
+fn loaded(config: EngineConfig) -> CompliantDb {
+    let mut db = CompliantDb::new(config);
+    let mut bench = GdprBench::new(41, 200);
+    for op in bench.load_phase(1_000) {
+        db.execute(&op, Actor::Controller);
+    }
+    db
+}
+
+fn bench_crypto_erasure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_crypto_erasure");
+    group.sample_size(10);
+    group.bench_function("physical_permanent_delete", |b| {
+        b.iter_batched(
+            || {
+                let mut cfg = EngineConfig::p_sys();
+                cfg.tuple_encryption = None;
+                loaded(cfg)
+            },
+            |mut db| {
+                for key in 0..20u64 {
+                    erase_now(&mut db, key, ErasureInterpretation::PermanentlyDeleted);
+                }
+                db
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.bench_function("crypto_erasure_key_destroy", |b| {
+        b.iter_batched(
+            || loaded(EngineConfig::p_sys()),
+            |mut db| {
+                for key in 0..20u64 {
+                    if let Some(unit) = db.unit_of_key(key) {
+                        if let Some(vault) = db.vault_mut() {
+                            vault.destroy_key(unit.0);
+                        }
+                    }
+                }
+                db
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_crypto_erasure);
+criterion_main!(benches);

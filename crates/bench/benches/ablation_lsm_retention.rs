@@ -1,0 +1,40 @@
+//! Criterion ablation: LSM compaction aggressiveness vs delete cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datacase_sim::{Meter, SimClock};
+use datacase_storage::lsm::{LsmConfig, LsmTree};
+use std::sync::Arc;
+
+fn bench_lsm_retention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_lsm_retention");
+    group.sample_size(10);
+    for runs_per_level in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(runs_per_level),
+            &runs_per_level,
+            |b, &runs_per_level| {
+                b.iter(|| {
+                    let mut tree = LsmTree::new(
+                        LsmConfig {
+                            memtable_bytes: 8 * 1024,
+                            runs_per_level,
+                        },
+                        SimClock::commodity(),
+                        Arc::new(Meter::new()),
+                    );
+                    for i in 0..2_000u64 {
+                        tree.put(i, i, &[0x42; 64]);
+                    }
+                    for i in 0..400u64 {
+                        tree.delete(i * 5, i * 5);
+                    }
+                    tree.stats()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lsm_retention);
+criterion_main!(benches);

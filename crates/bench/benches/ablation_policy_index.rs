@@ -1,0 +1,36 @@
+//! Criterion ablation: FGAC with/without the Sieve policy index.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datacase_engine::db::{Actor, CompliantDb};
+use datacase_engine::driver::run_ops;
+use datacase_engine::profiles::EngineConfig;
+use datacase_workloads::gdprbench::{GdprBench, Mix};
+
+fn bench_policy_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_policy_index");
+    group.sample_size(10);
+    for use_index in [true, false] {
+        let label = if use_index { "indexed" } else { "linear" };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &use_index,
+            |b, &use_index| {
+                b.iter(|| {
+                    let mut config = EngineConfig::p_sys();
+                    config.fgac_index = use_index;
+                    let mut db = CompliantDb::new(config);
+                    let mut bench = GdprBench::new(31, 200);
+                    for op in &bench.load_phase(1_000) {
+                        db.execute(op, Actor::Controller);
+                    }
+                    let ops = bench.ops(500, Mix::wpro());
+                    run_ops(&mut db, &ops, Actor::Processor)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policy_index);
+criterion_main!(benches);

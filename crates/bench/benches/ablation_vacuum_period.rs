@@ -1,0 +1,36 @@
+//! Criterion ablation: autovacuum period sweep under the Fig-4a mix.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datacase_engine::db::{Actor, CompliantDb};
+use datacase_engine::driver::run_ops;
+use datacase_engine::profiles::{DeleteStrategy, EngineConfig};
+use datacase_workloads::gdprbench::{GdprBench, Mix};
+
+fn bench_vacuum_period(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_vacuum_period");
+    group.sample_size(10);
+    for period in [50u64, 200, 1000, u64::MAX] {
+        let label = if period == u64::MAX {
+            "never".to_string()
+        } else {
+            period.to_string()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &period, |b, &period| {
+            b.iter(|| {
+                let mut config = EngineConfig::stock(DeleteStrategy::DeleteVacuum);
+                config.maintenance_every = period;
+                let mut db = CompliantDb::new(config);
+                let mut bench = GdprBench::new(13, 200);
+                for op in &bench.load_phase(2_000) {
+                    db.execute(op, Actor::Controller);
+                }
+                let ops = bench.ops(1_000, Mix::fig4a_customer());
+                run_ops(&mut db, &ops, Actor::Subject)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vacuum_period);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench for Figure 4a: wall-clock cost of the four erasure
+//! strategies under the customer workload (20 % deletes / 80 % reads).
+//!
+//! Criterion sizes are reduced (it repeats each cell many times); the
+//! paper-scale series comes from `repro fig4a`, which reports simulated
+//! completion time. Shapes must agree between the two.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datacase_bench::figures::fig4a_cell;
+use datacase_engine::profiles::DeleteStrategy;
+
+fn bench_fig4a(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4a_erasure_interpretations");
+    group.sample_size(10);
+    for strategy in DeleteStrategy::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.label()),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| fig4a_cell(strategy, 2_000, 1_000, 4242));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4a);
+criterion_main!(benches);

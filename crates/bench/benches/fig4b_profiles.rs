@@ -1,0 +1,26 @@
+//! Criterion bench for Figure 4b: profile × workload completion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datacase_bench::figures::{profile_cell, BenchWorkload};
+use datacase_engine::profiles::ProfileKind;
+
+fn bench_fig4b(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4b_profiles");
+    group.sample_size(10);
+    for workload in BenchWorkload::ALL {
+        for profile in ProfileKind::PAPER {
+            let id = format!("{}/{}", workload.label(), profile.label());
+            group.bench_with_input(
+                BenchmarkId::from_parameter(id),
+                &(workload, profile),
+                |b, &(workload, profile)| {
+                    b.iter(|| profile_cell(profile, workload, 2_000, 500, 99));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4b);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench for Figure 4c: completion vs record count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datacase_bench::figures::{profile_cell, BenchWorkload};
+use datacase_engine::profiles::ProfileKind;
+
+fn bench_fig4c(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4c_scalability");
+    group.sample_size(10);
+    for records in [1_000u64, 2_000, 4_000] {
+        group.throughput(Throughput::Elements(records));
+        for profile in ProfileKind::PAPER {
+            let id = format!("{}/records={records}", profile.label());
+            group.bench_with_input(
+                BenchmarkId::from_parameter(id),
+                &(profile, records),
+                |b, &(profile, records)| {
+                    b.iter(|| profile_cell(profile, BenchWorkload::WCus, records, 400, 17));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4c);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench for Table 1: cost of executing each erasure
+//! interpretation's system-action plan on a loaded engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datacase_core::grounding::erasure::ErasureInterpretation;
+use datacase_engine::db::{Actor, CompliantDb};
+use datacase_engine::erasure::erase_now;
+use datacase_engine::profiles::EngineConfig;
+use datacase_workloads::gdprbench::GdprBench;
+
+fn loaded_db(records: usize) -> CompliantDb {
+    let mut config = EngineConfig::p_sys();
+    config.tuple_encryption = None;
+    let mut db = CompliantDb::new(config);
+    let mut bench = GdprBench::new(77, 500);
+    for op in bench.load_phase(records) {
+        db.execute(&op, Actor::Controller);
+    }
+    db
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_erasure_actions");
+    group.sample_size(10);
+    for interp in ErasureInterpretation::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(interp.label()),
+            &interp,
+            |b, &interp| {
+                b.iter_batched(
+                    || loaded_db(1_000),
+                    |mut db| {
+                        assert!(erase_now(&mut db, 500, interp));
+                        db
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for Table 2: cost of loading + measuring the space
+//! breakdown per profile (the load dominates; the measurement itself is
+//! also covered).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datacase_bench::figures::{profile_cell, BenchWorkload};
+use datacase_engine::profiles::ProfileKind;
+use datacase_engine::space::SpaceReport;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_space_factor");
+    group.sample_size(10);
+    for profile in ProfileKind::PAPER {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(profile.label()),
+            &profile,
+            |b, &profile| {
+                b.iter(|| {
+                    let (_, db) = profile_cell(profile, BenchWorkload::WCus, 2_000, 200, 23);
+                    SpaceReport::measure(&db)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

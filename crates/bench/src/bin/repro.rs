@@ -1,0 +1,84 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! Usage:
+//! ```text
+//! repro [--quick] [fig1|fig3|fig4a|fig4b|fig4c|table1|table2|invariants|ablations|checks|all]
+//! ```
+//!
+//! `--quick` divides record/transaction counts by 10 (useful for smoke
+//! runs); the default is paper-faithful sizes (100k records, 10k txns,
+//! 10k–70k txn sweep, 100k–500k record sweep).
+
+use datacase_bench::figures::{self, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::QUICK } else { Scale::FULL };
+    let targets: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let all = targets.is_empty() || targets.contains(&"all");
+    let want = |name: &str| all || targets.contains(&name);
+
+    println!("Data-CASE reproduction harness (scale = 1/{})\n", scale.0);
+
+    if want("fig1") {
+        println!("{}", figures::fig1().render_text());
+    }
+    if want("table1") {
+        println!("{}", figures::table1().render_text());
+    }
+    if want("fig3") {
+        let (rendered, _) = figures::fig3();
+        println!("== Figure 3 — data erasure timeline ==\n{rendered}");
+    }
+    if want("fig4a") {
+        let (table, _) = figures::fig4a(scale);
+        println!("{}", table.render_text());
+        println!("{}", figures::fig4a_delete_only(scale).render_text());
+    }
+    if want("fig4b") {
+        let (table, _) = figures::fig4b(scale);
+        println!("{}", table.render_text());
+    }
+    if want("fig4c") {
+        let (table, _) = figures::fig4c(scale);
+        println!("{}", table.render_text());
+    }
+    if want("table2") {
+        let (table, _) = figures::table2(scale);
+        println!("{}", table.render_text());
+    }
+    if want("invariants") {
+        let (clean, dirty) = figures::invariants_demo();
+        println!("{}", clean.render());
+        println!("After injecting an unauthorised read into the history:\n");
+        println!("{}", dirty.render());
+        for v in dirty.violations.iter().take(3) {
+            println!("  {v}");
+        }
+        println!();
+    }
+    if want("ablations") {
+        println!("{}", figures::ablation_policy_index(scale).render_text());
+        println!("{}", figures::ablation_vacuum_period(scale).render_text());
+        println!("{}", figures::ablation_lsm_retention().render_text());
+        println!("{}", figures::ablation_crypto_erasure(scale).render_text());
+        println!("{}", figures::ablation_aes_strength(scale).render_text());
+    }
+    if want("checks") {
+        println!("== Shape checks (paper-claim verification) ==");
+        let mut all_ok = true;
+        for (name, ok) in figures::shape_checks(scale) {
+            println!("  [{}] {}", if ok { "PASS" } else { "FAIL" }, name);
+            all_ok &= ok;
+        }
+        println!();
+        if !all_ok {
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Actions: operations that read or change the state of data units
+//! (paper §2.1 — "any operation that changes the state of data units",
+//! plus reads, which regulations also constrain).
+
+use crate::grounding::erasure::ErasureInterpretation;
+use crate::ids::{EntityId, UnitId};
+
+/// The kind of an action, used for purpose groundings and statistics.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum ActionKind {
+    /// Creation of a data unit (collection).
+    Create,
+    /// Read of the unit's value.
+    Read,
+    /// Update of the unit's value.
+    UpdateValue,
+    /// Read of metadata aspects (policies, subject, origin).
+    ReadMeta,
+    /// Update of metadata aspects other than policies.
+    UpdateMeta,
+    /// Change to the unit's policy set (consent granted/withdrawn).
+    UpdatePolicy,
+    /// Derivation of a new unit from this one.
+    Derive,
+    /// Disclosure of the unit to another entity.
+    Share,
+    /// Erasure under some interpretation.
+    Erase,
+    /// Restoration of a reversibly-inaccessible unit.
+    Restore,
+    /// Drive-sanitisation pass over the unit's residuals.
+    Sanitize,
+    /// Notification sent to the data-subject (breach, policy change).
+    Notify,
+    /// A pre-processing assessment (PIA, G35).
+    Assess,
+}
+
+impl ActionKind {
+    /// Whether the action mutates the unit's state (vs only reading it).
+    pub fn is_mutation(self) -> bool {
+        !matches!(self, ActionKind::Read | ActionKind::ReadMeta)
+    }
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ActionKind::Create => "create",
+            ActionKind::Read => "read",
+            ActionKind::UpdateValue => "update-value",
+            ActionKind::ReadMeta => "read-meta",
+            ActionKind::UpdateMeta => "update-meta",
+            ActionKind::UpdatePolicy => "update-policy",
+            ActionKind::Derive => "derive",
+            ActionKind::Share => "share",
+            ActionKind::Erase => "erase",
+            ActionKind::Restore => "restore",
+            ActionKind::Sanitize => "sanitize",
+            ActionKind::Notify => "notify",
+            ActionKind::Assess => "assess",
+        }
+    }
+}
+
+/// A concrete action `τ` on a data unit.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Action {
+    /// Collect/create the unit.
+    Create,
+    /// Read the unit's value.
+    Read,
+    /// Overwrite the unit's value.
+    UpdateValue,
+    /// Read metadata (policies/subject/origin).
+    ReadMeta,
+    /// Update non-policy metadata.
+    UpdateMeta,
+    /// Grant or revoke a policy.
+    UpdatePolicy,
+    /// Derive `output` from this unit (and possibly others).
+    Derive {
+        /// The unit produced by the derivation.
+        output: UnitId,
+    },
+    /// Disclose the unit to `with`.
+    Share {
+        /// Recipient entity.
+        with: EntityId,
+    },
+    /// Erase under the given interpretation.
+    Erase(ErasureInterpretation),
+    /// Restore a reversibly-inaccessible unit.
+    Restore,
+    /// Run a sanitisation pass over residuals of the unit.
+    Sanitize,
+    /// Notify the data-subject (GDPR Arts. 19/33/34).
+    Notify,
+    /// Record a pre-processing assessment (GDPR Art. 35).
+    Assess,
+}
+
+impl Action {
+    /// The action's kind.
+    pub fn kind(&self) -> ActionKind {
+        match self {
+            Action::Create => ActionKind::Create,
+            Action::Read => ActionKind::Read,
+            Action::UpdateValue => ActionKind::UpdateValue,
+            Action::ReadMeta => ActionKind::ReadMeta,
+            Action::UpdateMeta => ActionKind::UpdateMeta,
+            Action::UpdatePolicy => ActionKind::UpdatePolicy,
+            Action::Derive { .. } => ActionKind::Derive,
+            Action::Share { .. } => ActionKind::Share,
+            Action::Erase(_) => ActionKind::Erase,
+            Action::Restore => ActionKind::Restore,
+            Action::Sanitize => ActionKind::Sanitize,
+            Action::Notify => ActionKind::Notify,
+            Action::Assess => ActionKind::Assess,
+        }
+    }
+
+    /// Whether the action mutates unit state.
+    pub fn is_mutation(&self) -> bool {
+        self.kind().is_mutation()
+    }
+}
+
+impl std::fmt::Display for Action {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Action::Derive { output } => write!(f, "derive->{output}"),
+            Action::Share { with } => write!(f, "share->{with}"),
+            Action::Erase(i) => write!(f, "erase[{i}]"),
+            other => f.write_str(other.kind().label()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_match_variants() {
+        assert_eq!(Action::Create.kind(), ActionKind::Create);
+        assert_eq!(
+            Action::Derive { output: UnitId(1) }.kind(),
+            ActionKind::Derive
+        );
+        assert_eq!(
+            Action::Erase(ErasureInterpretation::Deleted).kind(),
+            ActionKind::Erase
+        );
+    }
+
+    #[test]
+    fn reads_are_not_mutations() {
+        assert!(!Action::Read.is_mutation());
+        assert!(!Action::ReadMeta.is_mutation());
+        assert!(Action::UpdateValue.is_mutation());
+        assert!(Action::Erase(ErasureInterpretation::Deleted).is_mutation());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", Action::Read), "read");
+        assert_eq!(
+            format!("{}", Action::Share { with: EntityId(4) }),
+            "share->e4"
+        );
+        assert!(format!("{}", Action::Erase(ErasureInterpretation::Deleted)).contains("erase"));
+    }
+
+    #[test]
+    fn labels_cover_all_kinds() {
+        for k in [
+            ActionKind::Create,
+            ActionKind::Read,
+            ActionKind::UpdateValue,
+            ActionKind::ReadMeta,
+            ActionKind::UpdateMeta,
+            ActionKind::UpdatePolicy,
+            ActionKind::Derive,
+            ActionKind::Share,
+            ActionKind::Erase,
+            ActionKind::Restore,
+            ActionKind::Sanitize,
+            ActionKind::Notify,
+            ActionKind::Assess,
+        ] {
+            assert!(!k.label().is_empty());
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! The four interpretations of data erasure (paper §3.1) and their
+//! restrictiveness lattice (here a chain): strong deletion implies
+//! deletion, etc.
+
+/// An interpretation of "erase" a system may choose to support.
+///
+/// ```
+/// use datacase_core::grounding::erasure::ErasureInterpretation::*;
+///
+/// // The paper's restrictiveness ordering: "strongly delete implies delete".
+/// assert!(StronglyDeleted.implies(Deleted));
+/// assert!(!Deleted.implies(StronglyDeleted));
+/// assert!(PermanentlyDeleted.implies(ReversiblyInaccessible));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ErasureInterpretation {
+    /// Data cannot be read by data-subjects but remains accessible to the
+    /// controller/processor and can be restored by a specific action.
+    ReversiblyInaccessible,
+    /// The data and all its copies physically erased.
+    Deleted,
+    /// Deleted, plus all dependent data where the subject is identifiable.
+    StronglyDeleted,
+    /// Strongly deleted, plus advanced physical drive sanitisation.
+    PermanentlyDeleted,
+}
+
+impl ErasureInterpretation {
+    /// All interpretations, in increasing restrictiveness.
+    pub const ALL: [ErasureInterpretation; 4] = [
+        ErasureInterpretation::ReversiblyInaccessible,
+        ErasureInterpretation::Deleted,
+        ErasureInterpretation::StronglyDeleted,
+        ErasureInterpretation::PermanentlyDeleted,
+    ];
+
+    /// Restrictiveness rank, 1..=4.
+    pub fn rank(self) -> u8 {
+        match self {
+            ErasureInterpretation::ReversiblyInaccessible => 1,
+            ErasureInterpretation::Deleted => 2,
+            ErasureInterpretation::StronglyDeleted => 3,
+            ErasureInterpretation::PermanentlyDeleted => 4,
+        }
+    }
+
+    /// `self` implies `other` iff `self` is at least as restrictive
+    /// ("strongly delete implies delete", paper §3.1).
+    pub fn implies(self, other: ErasureInterpretation) -> bool {
+        self.rank() >= other.rank()
+    }
+
+    /// Paper's row label in Table 1.
+    pub fn label(self) -> &'static str {
+        match self {
+            ErasureInterpretation::ReversiblyInaccessible => "reversibly inaccessible",
+            ErasureInterpretation::Deleted => "delete",
+            ErasureInterpretation::StronglyDeleted => "strong delete",
+            ErasureInterpretation::PermanentlyDeleted => "permanently delete",
+        }
+    }
+}
+
+impl PartialOrd for ErasureInterpretation {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ErasureInterpretation {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.rank().cmp(&other.rank())
+    }
+}
+
+impl std::fmt::Display for ErasureInterpretation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn restrictiveness_chain_holds() {
+        use ErasureInterpretation::*;
+        assert!(StronglyDeleted.implies(Deleted));
+        assert!(Deleted.implies(ReversiblyInaccessible));
+        assert!(PermanentlyDeleted.implies(StronglyDeleted));
+        assert!(!Deleted.implies(StronglyDeleted));
+        assert!(!ReversiblyInaccessible.implies(Deleted));
+    }
+
+    #[test]
+    fn implies_is_reflexive_and_transitive() {
+        for a in ErasureInterpretation::ALL {
+            assert!(a.implies(a));
+            for b in ErasureInterpretation::ALL {
+                for c in ErasureInterpretation::ALL {
+                    if a.implies(b) && b.implies(c) {
+                        assert!(a.implies(c));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ordering_matches_rank() {
+        use ErasureInterpretation::*;
+        assert!(ReversiblyInaccessible < Deleted);
+        assert!(Deleted < StronglyDeleted);
+        assert!(StronglyDeleted < PermanentlyDeleted);
+        let mut v = vec![
+            PermanentlyDeleted,
+            ReversiblyInaccessible,
+            StronglyDeleted,
+            Deleted,
+        ];
+        v.sort();
+        assert_eq!(v, ErasureInterpretation::ALL.to_vec());
+    }
+
+    #[test]
+    fn labels_match_paper_rows() {
+        assert_eq!(
+            ErasureInterpretation::ReversiblyInaccessible.label(),
+            "reversibly inaccessible"
+        );
+        assert_eq!(
+            ErasureInterpretation::StronglyDeleted.label(),
+            "strong delete"
+        );
+    }
+}

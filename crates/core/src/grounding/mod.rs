@@ -1,0 +1,18 @@
+//! Grounding: mapping an ambiguous concept to a unique, formally stated
+//! interpretation, then to system-actions (paper §3, Figure 2).
+//!
+//! The paper works erasure end to end; this module does the same:
+//! * [`erasure`] — the four interpretations and their restrictiveness order;
+//! * [`properties`] — the three characterising properties (IR, II, Inv) and
+//!   the expected matrix of Table 1;
+//! * [`table`] — per-backend system-action plans implementing each
+//!   interpretation (Table 1's last column), for the PostgreSQL-style heap,
+//!   the LSM backend, and the crypto-erasure alternative.
+
+pub mod erasure;
+pub mod properties;
+pub mod table;
+
+pub use erasure::ErasureInterpretation;
+pub use properties::{ErasureProperties, PropertyProbe};
+pub use table::{Backend, GroundingTable, SystemAction, SystemActionPlan};

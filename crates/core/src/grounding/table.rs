@@ -1,0 +1,316 @@
+//! Mapping grounded interpretations to **system-actions** (paper Figure 2
+//! step ③ and Table 1's last column).
+//!
+//! A system-action is whatever the concrete backend offers: `DELETE` /
+//! `VACUUM` / `VACUUM FULL` in the PostgreSQL-style heap, tombstone insert
+//! and compaction in the LSM backend, key destruction in the crypto vault.
+//! The mapping is *system dependent* — Data-CASE itself only states which
+//! plan implements which interpretation, and the engine executes it.
+
+use std::collections::HashMap;
+
+use super::erasure::ErasureInterpretation;
+
+/// The storage backend a plan targets.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Backend {
+    /// PostgreSQL-style MVCC heap.
+    Heap,
+    /// LSM tree with tombstones (Cassandra-style).
+    Lsm,
+    /// Encrypted-at-rest store with per-unit keys (crypto-erasure).
+    CryptoVault,
+}
+
+impl Backend {
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Heap => "heap (PSQL-style)",
+            Backend::Lsm => "LSM (Cassandra-style)",
+            Backend::CryptoVault => "crypto-vault",
+        }
+    }
+}
+
+/// One primitive system-action the engine can execute.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SystemAction {
+    /// Set a `hidden` attribute on the row (plus partial index filtering).
+    SetHiddenAttribute,
+    /// Clear the `hidden` attribute (restore).
+    ClearHiddenAttribute,
+    /// SQL `DELETE` (marks the tuple dead; bytes remain on the page).
+    Delete,
+    /// Lazy `VACUUM` (reclaims dead tuples in place).
+    Vacuum,
+    /// `VACUUM FULL` (rewrites the table, physically dropping old pages).
+    VacuumFull,
+    /// Cascade the erasure to identifying derived units.
+    CascadeToDerived,
+    /// Delete the unit's log records (P_SYS does this on erase).
+    DeleteLogs,
+    /// Multi-pass overwrite of freed storage (drive sanitisation).
+    SanitizeDrive,
+    /// Insert an LSM tombstone.
+    InsertTombstone,
+    /// Force LSM compaction until the tombstone and shadowed versions drop.
+    ForceCompaction,
+    /// Destroy the unit's encryption key (crypto-erasure).
+    DestroyKey,
+}
+
+impl SystemAction {
+    /// The label the paper/engine uses for the action.
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemAction::SetHiddenAttribute => "ADD/SET hidden attribute",
+            SystemAction::ClearHiddenAttribute => "CLEAR hidden attribute",
+            SystemAction::Delete => "DELETE",
+            SystemAction::Vacuum => "VACUUM",
+            SystemAction::VacuumFull => "VACUUM FULL",
+            SystemAction::CascadeToDerived => "CASCADE to identifying derived units",
+            SystemAction::DeleteLogs => "DELETE unit's logs",
+            SystemAction::SanitizeDrive => "SANITIZE (multi-pass overwrite)",
+            SystemAction::InsertTombstone => "INSERT tombstone",
+            SystemAction::ForceCompaction => "FORCE compaction",
+            SystemAction::DestroyKey => "DESTROY per-unit key",
+        }
+    }
+}
+
+/// An ordered sequence of system-actions implementing one interpretation.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct SystemActionPlan {
+    /// The actions, in execution order.
+    pub actions: Vec<SystemAction>,
+    /// Whether the backend natively supports the full plan (Table 1 notes
+    /// "permanently delete: Not supported" for stock PSQL).
+    pub natively_supported: bool,
+}
+
+impl SystemActionPlan {
+    /// A supported plan from a list of actions.
+    pub fn supported(actions: &[SystemAction]) -> SystemActionPlan {
+        SystemActionPlan {
+            actions: actions.to_vec(),
+            natively_supported: true,
+        }
+    }
+
+    /// A plan that requires retrofitting the system.
+    pub fn retrofit(actions: &[SystemAction]) -> SystemActionPlan {
+        SystemActionPlan {
+            actions: actions.to_vec(),
+            natively_supported: false,
+        }
+    }
+
+    /// Render like the paper's "System-Action(s)" column.
+    pub fn describe(&self) -> String {
+        let joined = self
+            .actions
+            .iter()
+            .map(|a| a.label())
+            .collect::<Vec<_>>()
+            .join(" + ");
+        if self.natively_supported {
+            joined
+        } else {
+            format!("{joined} (requires retrofit)")
+        }
+    }
+}
+
+/// The grounding table: (backend, interpretation) → plan.
+#[derive(Clone, Debug, Default)]
+pub struct GroundingTable {
+    plans: HashMap<(Backend, ErasureInterpretation), SystemActionPlan>,
+}
+
+impl GroundingTable {
+    /// An empty table.
+    pub fn new() -> GroundingTable {
+        GroundingTable::default()
+    }
+
+    /// The table used throughout the reproduction, mirroring the paper's
+    /// Table 1 for the heap backend and extending it with LSM and
+    /// crypto-vault groundings.
+    pub fn standard() -> GroundingTable {
+        use Backend::*;
+        use ErasureInterpretation::*;
+        use SystemAction::*;
+        let mut t = GroundingTable::new();
+        // Heap (PSQL-style) — Table 1.
+        t.set(
+            Heap,
+            ReversiblyInaccessible,
+            SystemActionPlan::supported(&[SetHiddenAttribute]),
+        );
+        t.set(
+            Heap,
+            Deleted,
+            SystemActionPlan::supported(&[Delete, Vacuum]),
+        );
+        t.set(
+            Heap,
+            StronglyDeleted,
+            SystemActionPlan::supported(&[Delete, CascadeToDerived, VacuumFull]),
+        );
+        // Paper: "permanently delete: Not supported" in stock PSQL — our
+        // engine retrofits it with a sanitisation pass + log deletion.
+        t.set(
+            Heap,
+            PermanentlyDeleted,
+            SystemActionPlan::retrofit(&[
+                Delete,
+                CascadeToDerived,
+                VacuumFull,
+                DeleteLogs,
+                SanitizeDrive,
+            ]),
+        );
+        // LSM backend.
+        t.set(
+            Lsm,
+            ReversiblyInaccessible,
+            SystemActionPlan::supported(&[SetHiddenAttribute]),
+        );
+        t.set(
+            Lsm,
+            Deleted,
+            SystemActionPlan::supported(&[InsertTombstone, ForceCompaction]),
+        );
+        t.set(
+            Lsm,
+            StronglyDeleted,
+            SystemActionPlan::supported(&[InsertTombstone, CascadeToDerived, ForceCompaction]),
+        );
+        t.set(
+            Lsm,
+            PermanentlyDeleted,
+            SystemActionPlan::retrofit(&[
+                InsertTombstone,
+                CascadeToDerived,
+                ForceCompaction,
+                DeleteLogs,
+                SanitizeDrive,
+            ]),
+        );
+        // Crypto-vault: key destruction is a *permanent* erasure in one
+        // step (the transformation becomes non-invertible for everyone).
+        t.set(
+            CryptoVault,
+            PermanentlyDeleted,
+            SystemActionPlan::supported(&[DestroyKey, CascadeToDerived, DeleteLogs]),
+        );
+        t
+    }
+
+    /// Set the plan for a (backend, interpretation) pair.
+    pub fn set(&mut self, backend: Backend, interp: ErasureInterpretation, plan: SystemActionPlan) {
+        self.plans.insert((backend, interp), plan);
+    }
+
+    /// The plan for a pair, if grounded.
+    pub fn plan(
+        &self,
+        backend: Backend,
+        interp: ErasureInterpretation,
+    ) -> Option<&SystemActionPlan> {
+        self.plans.get(&(backend, interp))
+    }
+
+    /// All interpretations grounded for a backend, in restrictiveness order.
+    pub fn grounded_for(&self, backend: Backend) -> Vec<ErasureInterpretation> {
+        ErasureInterpretation::ALL
+            .into_iter()
+            .filter(|i| self.plans.contains_key(&(backend, *i)))
+            .collect()
+    }
+
+    /// Number of grounded pairs.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// True if no grounding is present.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_table_matches_paper_heap_column() {
+        let t = GroundingTable::standard();
+        let del = t
+            .plan(Backend::Heap, ErasureInterpretation::Deleted)
+            .unwrap();
+        assert_eq!(del.describe(), "DELETE + VACUUM");
+        let sd = t
+            .plan(Backend::Heap, ErasureInterpretation::StronglyDeleted)
+            .unwrap();
+        assert!(sd.describe().contains("VACUUM FULL"));
+        let pd = t
+            .plan(Backend::Heap, ErasureInterpretation::PermanentlyDeleted)
+            .unwrap();
+        assert!(!pd.natively_supported, "paper: not supported in stock PSQL");
+        assert!(pd.describe().contains("requires retrofit"));
+    }
+
+    #[test]
+    fn reversible_uses_attribute() {
+        let t = GroundingTable::standard();
+        let ri = t
+            .plan(Backend::Heap, ErasureInterpretation::ReversiblyInaccessible)
+            .unwrap();
+        assert_eq!(ri.actions, vec![SystemAction::SetHiddenAttribute]);
+    }
+
+    #[test]
+    fn lsm_grounding_uses_tombstones() {
+        let t = GroundingTable::standard();
+        let del = t
+            .plan(Backend::Lsm, ErasureInterpretation::Deleted)
+            .unwrap();
+        assert!(del.actions.contains(&SystemAction::InsertTombstone));
+        assert!(del.actions.contains(&SystemAction::ForceCompaction));
+    }
+
+    #[test]
+    fn crypto_vault_grounds_permanent_only() {
+        let t = GroundingTable::standard();
+        assert_eq!(
+            t.grounded_for(Backend::CryptoVault),
+            vec![ErasureInterpretation::PermanentlyDeleted]
+        );
+    }
+
+    #[test]
+    fn grounded_for_is_ordered_by_restrictiveness() {
+        let t = GroundingTable::standard();
+        let heap = t.grounded_for(Backend::Heap);
+        assert_eq!(heap, ErasureInterpretation::ALL.to_vec());
+    }
+
+    #[test]
+    fn custom_grounding_overrides() {
+        let mut t = GroundingTable::standard();
+        t.set(
+            Backend::Heap,
+            ErasureInterpretation::Deleted,
+            SystemActionPlan::supported(&[SystemAction::Delete]),
+        );
+        assert_eq!(
+            t.plan(Backend::Heap, ErasureInterpretation::Deleted)
+                .unwrap()
+                .describe(),
+            "DELETE"
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Identifier newtypes shared across the model.
+
+/// Identifies an entity (data-subject, controller, processor, auditor …).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
+pub struct EntityId(pub u32);
+
+/// Identifies a data unit — the finest granularity at which Data-CASE
+/// refers to data (paper §2.1). What one unit *is* depends on the system:
+/// a user's click-stream, a camera interval, a credit-card record.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
+pub struct UnitId(pub u64);
+
+impl std::fmt::Display for EntityId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl std::fmt::Display for UnitId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl UnitId {
+    /// The next sequential unit id (allocation helper for registries).
+    pub fn next(self) -> UnitId {
+        UnitId(self.0 + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", EntityId(3)), "e3");
+        assert_eq!(format!("{}", UnitId(9)), "x9");
+    }
+
+    #[test]
+    fn next_increments() {
+        assert_eq!(UnitId(0).next(), UnitId(1));
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(UnitId(1) < UnitId(2));
+        assert!(EntityId(1) < EntityId(2));
+    }
+}

@@ -1,0 +1,105 @@
+//! A tiny global string interner.
+//!
+//! Purposes, role names, and dependency-function labels are short strings
+//! compared and hashed constantly on the hot path (every policy check).
+//! Interning turns them into `u32` symbols with `&'static str` resolution.
+//! The interned set is small and append-only, so leaking the backing
+//! strings is deliberate and bounded.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned string handle; equality and hashing are integer operations.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Intern `s`, returning its symbol (idempotent per string).
+    pub fn intern(s: &str) -> Symbol {
+        let mut g = interner().lock().expect("interner poisoned");
+        if let Some(&id) = g.map.get(s) {
+            return Symbol(id);
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = g.strings.len() as u32;
+        g.strings.push(leaked);
+        g.map.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// Resolve back to the string.
+    pub fn as_str(self) -> &'static str {
+        let g = interner().lock().expect("interner poisoned");
+        g.strings[self.0 as usize]
+    }
+
+    /// The raw symbol index (for compact serialization in logs).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl std::fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Symbol({:?})", self.as_str())
+    }
+}
+
+impl std::fmt::Display for Symbol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::intern("billing");
+        let b = Symbol::intern("billing");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "billing");
+    }
+
+    #[test]
+    fn distinct_strings_distinct_symbols() {
+        let a = Symbol::intern("alpha-x");
+        let b = Symbol::intern("beta-x");
+        assert_ne!(a, b);
+        assert_eq!(a.as_str(), "alpha-x");
+        assert_eq!(b.as_str(), "beta-x");
+    }
+
+    #[test]
+    fn display_shows_string() {
+        let s = Symbol::intern("retention");
+        assert_eq!(format!("{s}"), "retention");
+        assert!(format!("{s:?}").contains("retention"));
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(|| Symbol::intern("concurrent-key")))
+            .collect();
+        let syms: Vec<Symbol> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(syms.windows(2).all(|w| w[0] == w[1]));
+    }
+}

@@ -1,0 +1,259 @@
+//! Provenance between data units (paper §2.1: "it is essential to capture
+//! the provenance between various kinds of data in a system").
+//!
+//! Derivations drive two compliance questions:
+//!
+//! * **strong deletion** — deleting a unit must also delete dependent data
+//!   *where the data-subject is identifiable* (paper §3.1), which is the
+//!   `identifying` closure here;
+//! * **erasure-inconsistent inference (II)** — an erased unit that can be
+//!   reconstructed from surviving units via some dependency `f` is still
+//!   inferable; [`ProvenanceGraph::reconstructable`] is the model-level
+//!   probe behind Table 1's II column.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use datacase_sim::time::Ts;
+
+use crate::ids::UnitId;
+use crate::intern::Symbol;
+
+/// A recorded derivation `Y = f(X₁ … Xₙ)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Derivation {
+    /// The produced unit `Y`.
+    pub output: UnitId,
+    /// The input units `X₁ … Xₙ`.
+    pub inputs: Vec<UnitId>,
+    /// The dependency function's name (aggregation, projection, copy …).
+    pub func: Symbol,
+    /// Whether `f` is invertible: the inputs can be recomputed from the
+    /// output (e.g. an encryption or a lossless copy, as opposed to a
+    /// `count(*)` aggregate).
+    pub invertible: bool,
+    /// Whether the output still identifies the inputs' data-subjects.
+    pub identifying: bool,
+    /// When the derivation happened.
+    pub at: Ts,
+}
+
+/// The DAG of derivations.
+#[derive(Clone, Debug, Default)]
+pub struct ProvenanceGraph {
+    derivations: Vec<Derivation>,
+    by_output: HashMap<UnitId, usize>,
+    children: HashMap<UnitId, Vec<UnitId>>,
+}
+
+impl ProvenanceGraph {
+    /// An empty graph.
+    pub fn new() -> ProvenanceGraph {
+        ProvenanceGraph::default()
+    }
+
+    /// Record a derivation.
+    ///
+    /// # Panics
+    /// Panics if `output` already has a recorded derivation (units are
+    /// produced once) or if `output` appears among its own inputs.
+    pub fn record(&mut self, d: Derivation) {
+        assert!(
+            !self.by_output.contains_key(&d.output),
+            "unit {} already has a derivation",
+            d.output
+        );
+        assert!(
+            !d.inputs.contains(&d.output),
+            "unit {} cannot derive from itself",
+            d.output
+        );
+        for input in &d.inputs {
+            self.children.entry(*input).or_default().push(d.output);
+        }
+        self.by_output.insert(d.output, self.derivations.len());
+        self.derivations.push(d);
+    }
+
+    /// The derivation that produced `unit`, if any.
+    pub fn derivation_of(&self, unit: UnitId) -> Option<&Derivation> {
+        self.by_output.get(&unit).map(|&i| &self.derivations[i])
+    }
+
+    /// Direct inputs of `unit`.
+    pub fn parents(&self, unit: UnitId) -> &[UnitId] {
+        self.derivation_of(unit)
+            .map(|d| d.inputs.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Units directly derived from `unit`.
+    pub fn children(&self, unit: UnitId) -> &[UnitId] {
+        self.children.get(&unit).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All transitive descendants of `unit` (BFS order, unit excluded).
+    pub fn descendants(&self, unit: UnitId) -> Vec<UnitId> {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        let mut q: VecDeque<UnitId> = self.children(unit).iter().copied().collect();
+        while let Some(u) = q.pop_front() {
+            if seen.insert(u) {
+                out.push(u);
+                q.extend(self.children(u).iter().copied());
+            }
+        }
+        out
+    }
+
+    /// Descendants reachable through *identifying* derivations only — the
+    /// set strong deletion must also erase.
+    pub fn identifying_descendants(&self, unit: UnitId) -> Vec<UnitId> {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        let mut q = VecDeque::new();
+        q.push_back(unit);
+        while let Some(u) = q.pop_front() {
+            for &c in self.children(u) {
+                let d = self.derivation_of(c).expect("child has derivation");
+                if d.identifying && seen.insert(c) {
+                    out.push(c);
+                    q.push_back(c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Can `unit` be reconstructed from surviving data? True if either
+    ///
+    /// 1. some child derivation is invertible and the child is alive, or
+    /// 2. `unit` was itself derived and *all* its inputs are alive
+    ///    (re-run the derivation).
+    ///
+    /// `alive` reports whether a unit's content is still obtainable.
+    pub fn reconstructable(&self, unit: UnitId, alive: &dyn Fn(UnitId) -> bool) -> bool {
+        for &c in self.children(unit) {
+            let d = self.derivation_of(c).expect("child has derivation");
+            if d.invertible && alive(c) {
+                return true;
+            }
+        }
+        if let Some(d) = self.derivation_of(unit) {
+            if !d.inputs.is_empty() && d.inputs.iter().all(|&i| alive(i)) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of recorded derivations.
+    pub fn len(&self) -> usize {
+        self.derivations.len()
+    }
+
+    /// True if no derivation has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.derivations.is_empty()
+    }
+
+    /// Iterate over all derivations.
+    pub fn iter(&self) -> impl Iterator<Item = &Derivation> {
+        self.derivations.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> Ts {
+        Ts::from_secs(s)
+    }
+
+    fn deriv(output: u64, inputs: &[u64], invertible: bool, identifying: bool) -> Derivation {
+        Derivation {
+            output: UnitId(output),
+            inputs: inputs.iter().map(|&i| UnitId(i)).collect(),
+            func: Symbol::intern("f"),
+            invertible,
+            identifying,
+            at: t(1),
+        }
+    }
+
+    #[test]
+    fn parents_and_children() {
+        let mut g = ProvenanceGraph::new();
+        g.record(deriv(3, &[1, 2], false, true));
+        assert_eq!(g.parents(UnitId(3)), &[UnitId(1), UnitId(2)]);
+        assert_eq!(g.children(UnitId(1)), &[UnitId(3)]);
+        assert_eq!(g.children(UnitId(3)), &[] as &[UnitId]);
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn descendants_are_transitive() {
+        let mut g = ProvenanceGraph::new();
+        g.record(deriv(2, &[1], false, true));
+        g.record(deriv(3, &[2], false, true));
+        g.record(deriv(4, &[2], false, false));
+        let d = g.descendants(UnitId(1));
+        assert_eq!(d.len(), 3);
+        assert!(d.contains(&UnitId(3)) && d.contains(&UnitId(4)));
+    }
+
+    #[test]
+    fn identifying_closure_stops_at_anonymising_steps() {
+        let mut g = ProvenanceGraph::new();
+        // 1 -> 2 (identifying) -> 3 (anonymised aggregate) -> 4 (identifying)
+        g.record(deriv(2, &[1], false, true));
+        g.record(deriv(3, &[2], false, false));
+        g.record(deriv(4, &[3], false, true));
+        let d = g.identifying_descendants(UnitId(1));
+        // Only 2: the chain is cut at the anonymising derivation 3.
+        assert_eq!(d, vec![UnitId(2)]);
+    }
+
+    #[test]
+    fn reconstructable_via_invertible_child() {
+        let mut g = ProvenanceGraph::new();
+        g.record(deriv(2, &[1], true, true)); // 2 = enc(1), invertible
+        let alive = |u: UnitId| u == UnitId(2);
+        assert!(g.reconstructable(UnitId(1), &alive));
+        let none_alive = |_: UnitId| false;
+        assert!(!g.reconstructable(UnitId(1), &none_alive));
+    }
+
+    #[test]
+    fn reconstructable_by_rerunning_derivation() {
+        let mut g = ProvenanceGraph::new();
+        g.record(deriv(3, &[1, 2], false, true));
+        let alive = |u: UnitId| u == UnitId(1) || u == UnitId(2);
+        assert!(g.reconstructable(UnitId(3), &alive));
+        let partial = |u: UnitId| u == UnitId(1);
+        assert!(!g.reconstructable(UnitId(3), &partial));
+    }
+
+    #[test]
+    fn non_invertible_child_does_not_reconstruct() {
+        let mut g = ProvenanceGraph::new();
+        g.record(deriv(2, &[1], false, true)); // count(*) style
+        let alive = |_: UnitId| true;
+        assert!(!g.reconstructable(UnitId(1), &alive));
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a derivation")]
+    fn duplicate_output_panics() {
+        let mut g = ProvenanceGraph::new();
+        g.record(deriv(2, &[1], false, true));
+        g.record(deriv(2, &[3], false, true));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot derive from itself")]
+    fn self_derivation_panics() {
+        let mut g = ProvenanceGraph::new();
+        g.record(deriv(1, &[1], false, true));
+    }
+}

@@ -1,0 +1,128 @@
+//! Violations reported by the compliance checker.
+
+use datacase_sim::time::Ts;
+
+use crate::ids::{EntityId, UnitId};
+
+/// How severe a violation is for reporting/triage.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    /// Informational: a gap that does not yet breach an invariant.
+    Advisory,
+    /// An invariant is breached but remediable (e.g. missing assessment).
+    Breach,
+    /// Personal data is exposed or illegally retained.
+    Critical,
+}
+
+impl Severity {
+    /// Label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Advisory => "advisory",
+            Severity::Breach => "breach",
+            Severity::Critical => "critical",
+        }
+    }
+}
+
+/// A single invariant violation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Violation {
+    /// The invariant's identifier ("G6", "G17", "I".."IX").
+    pub invariant: &'static str,
+    /// The unit involved, if unit-specific.
+    pub unit: Option<UnitId>,
+    /// The entity involved, if entity-specific.
+    pub entity: Option<EntityId>,
+    /// When the violating condition was observed.
+    pub at: Ts,
+    /// Severity.
+    pub severity: Severity,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Violation {
+    /// A unit-scoped violation.
+    pub fn on_unit(
+        invariant: &'static str,
+        unit: UnitId,
+        at: Ts,
+        severity: Severity,
+        message: impl Into<String>,
+    ) -> Violation {
+        Violation {
+            invariant,
+            unit: Some(unit),
+            entity: None,
+            at,
+            severity,
+            message: message.into(),
+        }
+    }
+
+    /// A system-scoped violation.
+    pub fn systemic(
+        invariant: &'static str,
+        at: Ts,
+        severity: Severity,
+        message: impl Into<String>,
+    ) -> Violation {
+        Violation {
+            invariant,
+            unit: None,
+            entity: None,
+            at,
+            severity,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}][{}]", self.invariant, self.severity.label())?;
+        if let Some(u) = self.unit {
+            write!(f, " unit {u}")?;
+        }
+        if let Some(e) = self.entity {
+            write!(f, " entity {e}")?;
+        }
+        write!(f, " at {}: {}", self.at, self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severities_are_ordered() {
+        assert!(Severity::Advisory < Severity::Breach);
+        assert!(Severity::Breach < Severity::Critical);
+    }
+
+    #[test]
+    fn display_includes_parts() {
+        let v = Violation::on_unit(
+            "G17",
+            UnitId(5),
+            Ts::from_secs(9),
+            Severity::Critical,
+            "not erased by deadline",
+        );
+        let s = format!("{v}");
+        assert!(s.contains("G17"));
+        assert!(s.contains("x5"));
+        assert!(s.contains("critical"));
+        assert!(s.contains("deadline"));
+    }
+
+    #[test]
+    fn systemic_has_no_unit() {
+        let v = Violation::systemic("IX", Ts::ZERO, Severity::Breach, "no evidence");
+        assert!(v.unit.is_none());
+        assert!(format!("{v}").contains("IX"));
+    }
+}

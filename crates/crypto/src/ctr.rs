@@ -1,0 +1,151 @@
+//! AES-CTR stream mode (NIST SP 800-38A §6.5).
+//!
+//! CTR turns the block cipher into a stream cipher: encryption and
+//! decryption are the same operation (XOR with the encrypted counter
+//! stream), which is what the storage layers use for tuple payloads and
+//! whole pages.
+
+use crate::aes::{Aes, KeySize};
+
+/// AES in counter mode with a 16-byte initial counter block.
+#[derive(Clone, Debug)]
+pub struct AesCtr {
+    aes: Aes,
+}
+
+impl AesCtr {
+    /// Build from an already-expanded cipher.
+    pub fn new(aes: Aes) -> AesCtr {
+        AesCtr { aes }
+    }
+
+    /// Convenience constructor from raw key bytes.
+    pub fn from_key(size: KeySize, key: &[u8]) -> AesCtr {
+        AesCtr::new(Aes::new(size, key))
+    }
+
+    /// The underlying key size (for cost accounting).
+    pub fn key_size(&self) -> KeySize {
+        self.aes.key_size()
+    }
+
+    /// XOR `data` in place with the keystream generated from `iv`.
+    ///
+    /// The counter occupies the last 8 bytes of the IV block, big-endian,
+    /// and increments once per 16-byte block. Calling this twice with the
+    /// same IV restores the original data (CTR is an involution).
+    pub fn apply(&self, iv: [u8; 16], data: &mut [u8]) {
+        let mut counter_block = iv;
+        let mut counter = u64::from_be_bytes(iv[8..16].try_into().expect("8 bytes"));
+        for chunk in data.chunks_mut(16) {
+            counter_block[8..16].copy_from_slice(&counter.to_be_bytes());
+            let mut ks = counter_block;
+            self.aes.encrypt_block(&mut ks);
+            for (d, k) in chunk.iter_mut().zip(ks.iter()) {
+                *d ^= k;
+            }
+            counter = counter.wrapping_add(1);
+        }
+    }
+
+    /// Derive a deterministic IV from a 64-bit nonce (e.g. a tuple id or a
+    /// sector number), placing the nonce in the IV prefix and zeroing the
+    /// counter half.
+    pub fn iv_from_nonce(nonce: u64) -> [u8; 16] {
+        let mut iv = [0u8; 16];
+        iv[0..8].copy_from_slice(&nonce.to_be_bytes());
+        iv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn sp800_38a_f5_1_ctr_aes128() {
+        // NIST SP 800-38A F.5.1 CTR-AES128.Encrypt
+        let key = hex("2b7e151628aed2a6abf7158809cf4f3c");
+        let iv: [u8; 16] = hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff").try_into().unwrap();
+        let mut data = hex(concat!(
+            "6bc1bee22e409f96e93d7e117393172a",
+            "ae2d8a571e03ac9c9eb76fac45af8e51",
+            "30c81c46a35ce411e5fbc1191a0a52ef",
+            "f69f2445df4f9b17ad2b417be66c3710"
+        ));
+        let ctr = AesCtr::from_key(KeySize::Aes128, &key);
+        ctr.apply(iv, &mut data);
+        assert_eq!(
+            data,
+            hex(concat!(
+                "874d6191b620e3261bef6864990db6ce",
+                "9806f66b7970fdff8617187bb9fffdff",
+                "5ae4df3edbd5d35e5b4f09020db03eab",
+                "1e031dda2fbe03d1792170a0f3009cee"
+            ))
+        );
+    }
+
+    #[test]
+    fn sp800_38a_f5_5_ctr_aes256() {
+        // NIST SP 800-38A F.5.5 CTR-AES256.Encrypt, first block.
+        let key = hex("603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4");
+        let iv: [u8; 16] = hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff").try_into().unwrap();
+        let mut data = hex("6bc1bee22e409f96e93d7e117393172a");
+        let ctr = AesCtr::from_key(KeySize::Aes256, &key);
+        ctr.apply(iv, &mut data);
+        assert_eq!(data, hex("601ec313775789a5b7a7f504bbf3d228"));
+    }
+
+    #[test]
+    fn ctr_is_involution() {
+        let ctr = AesCtr::from_key(KeySize::Aes128, &[9u8; 16]);
+        let iv = AesCtr::iv_from_nonce(12345);
+        let original: Vec<u8> = (0..100).map(|i| i as u8).collect();
+        let mut data = original.clone();
+        ctr.apply(iv, &mut data);
+        assert_ne!(data, original);
+        ctr.apply(iv, &mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn different_nonces_give_different_streams() {
+        let ctr = AesCtr::from_key(KeySize::Aes128, &[1u8; 16]);
+        let mut a = vec![0u8; 32];
+        let mut b = vec![0u8; 32];
+        ctr.apply(AesCtr::iv_from_nonce(1), &mut a);
+        ctr.apply(AesCtr::iv_from_nonce(2), &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn partial_block_handled() {
+        let ctr = AesCtr::from_key(KeySize::Aes256, &[3u8; 32]);
+        let iv = AesCtr::iv_from_nonce(7);
+        let mut data = vec![0xAA; 5];
+        ctr.apply(iv, &mut data);
+        ctr.apply(iv, &mut data);
+        assert_eq!(data, vec![0xAA; 5]);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn involution_property(nonce in proptest::prelude::any::<u64>(),
+                               data in proptest::collection::vec(0u8..=255, 0..200)) {
+            let ctr = AesCtr::from_key(KeySize::Aes128, &[0x42; 16]);
+            let iv = AesCtr::iv_from_nonce(nonce);
+            let mut buf = data.clone();
+            ctr.apply(iv, &mut buf);
+            ctr.apply(iv, &mut buf);
+            proptest::prop_assert_eq!(buf, data);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+//! # datacase-crypto
+//!
+//! From-scratch cryptographic primitives for the Data-CASE reproduction.
+//!
+//! The paper's compliance profiles encrypt data at rest: P_Base uses AES-256,
+//! P_SYS uses AES-128, and P_GBench uses LUKS (SHA-256-keyed) full-disk
+//! encryption. No cryptography crates are available offline, so this crate
+//! implements the standards directly and validates them against the official
+//! test vectors (FIPS-197 Appendix C, NIST SP 800-38A, FIPS-180-4, RFC 4231).
+//!
+//! **Scope note:** these implementations are table-driven and *not*
+//! constant-time; they exist to reproduce the computational and storage
+//! behaviour of encrypted data paths inside a simulator, not to protect real
+//! secrets.
+//!
+//! Modules:
+//! * [`aes`] — AES-128/192/256 block cipher (encrypt + decrypt).
+//! * [`ctr`] — AES-CTR stream mode used for tuple- and page-level encryption.
+//! * [`sha256`] — SHA-256 digest.
+//! * [`hmac`] — HMAC-SHA-256.
+//! * [`kdf`] — a LUKS-flavoured iterated-hash key-derivation shim.
+//! * [`vault`] — per-data-unit key vault enabling *crypto-erasure* (destroy
+//!   the key ⇒ ciphertext is permanently unreadable), the alternative
+//!   grounding of permanent deletion discussed in the paper's related work.
+//! * [`sector`] — sector/page encryption helper emulating LUKS-style
+//!   disk-layer encryption for the P_GBench profile.
+
+pub mod aes;
+pub mod ctr;
+pub mod hmac;
+pub mod kdf;
+pub mod sector;
+pub mod sha256;
+pub mod vault;
+
+pub use aes::{Aes, KeySize};
+pub use ctr::AesCtr;
+pub use sha256::Sha256;

@@ -1,0 +1,217 @@
+//! Per-data-unit key vault for *crypto-erasure*.
+//!
+//! The paper's related work (\[66\] "Purging compliance from database backups
+//! by encryption") motivates an alternative grounding of **permanent
+//! deletion**: encrypt each data unit under its own key and destroy the key
+//! on erasure. The ciphertext may physically persist (in backups, WAL, old
+//! SSTable runs) yet the unit is unrecoverable — a *non-invertible*
+//! transformation in Data-CASE terms. The engine's crypto-erasure ablation
+//! compares this against VACUUM FULL + drive sanitisation.
+
+use std::collections::HashMap;
+
+use crate::aes::KeySize;
+use crate::ctr::AesCtr;
+use crate::sha256::Sha256;
+
+/// Errors surfaced by the vault.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VaultError {
+    /// No live key for the requested unit (never created, or destroyed).
+    KeyUnavailable(u64),
+}
+
+impl std::fmt::Display for VaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VaultError::KeyUnavailable(id) => {
+                write!(
+                    f,
+                    "no live key for data unit {id} (destroyed or never created)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for VaultError {}
+
+/// State of a unit's key, kept for audit purposes after destruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KeyState {
+    /// Key material is live and usable.
+    Live,
+    /// Key material has been destroyed (crypto-erased).
+    Destroyed,
+}
+
+/// A vault holding one symmetric key per data unit.
+///
+/// Keys are derived deterministically from a vault master secret and the
+/// unit id, then stored; destroying a key removes the material and records
+/// a tombstone so audits can prove *when* erasure became irreversible.
+#[derive(Debug)]
+pub struct KeyVault {
+    master: [u8; 32],
+    size: KeySize,
+    keys: HashMap<u64, Vec<u8>>,
+    states: HashMap<u64, KeyState>,
+}
+
+impl KeyVault {
+    /// A vault deriving keys of the given size from `master_secret`.
+    pub fn new(master_secret: &[u8], size: KeySize) -> KeyVault {
+        KeyVault {
+            master: Sha256::digest(master_secret),
+            size,
+            keys: HashMap::new(),
+            states: HashMap::new(),
+        }
+    }
+
+    /// The configured key size.
+    pub fn key_size(&self) -> KeySize {
+        self.size
+    }
+
+    /// Create (or return the existing) key for `unit`.
+    pub fn ensure_key(&mut self, unit: u64) -> &[u8] {
+        if self.states.get(&unit) == Some(&KeyState::Destroyed) {
+            // A destroyed key must never be silently recreated with the same
+            // material. Derive a fresh generation by hashing in the state.
+            let key = self.derive(unit, 1);
+            self.states.insert(unit, KeyState::Live);
+            return self.keys.entry(unit).or_insert(key);
+        }
+        self.states.insert(unit, KeyState::Live);
+        let size = self.size;
+        let master = self.master;
+        self.keys
+            .entry(unit)
+            .or_insert_with(|| Self::derive_raw(&master, size, unit, 0))
+    }
+
+    fn derive(&self, unit: u64, generation: u64) -> Vec<u8> {
+        Self::derive_raw(&self.master, self.size, unit, generation)
+    }
+
+    fn derive_raw(master: &[u8; 32], size: KeySize, unit: u64, generation: u64) -> Vec<u8> {
+        let mut h = Sha256::new();
+        h.update(master);
+        h.update(&unit.to_be_bytes());
+        h.update(&generation.to_be_bytes());
+        let d = h.finalize();
+        match size {
+            KeySize::Aes128 => d[..16].to_vec(),
+            KeySize::Aes192 => d[..24].to_vec(),
+            KeySize::Aes256 => {
+                let mut h2 = Sha256::new();
+                h2.update(&d);
+                h2.update(b"ext");
+                let d2 = h2.finalize();
+                let mut k = d.to_vec();
+                k.truncate(16);
+                k.extend_from_slice(&d2[..16]);
+                k
+            }
+        }
+    }
+
+    /// A CTR cipher for the unit, if its key is live.
+    pub fn cipher(&self, unit: u64) -> Result<AesCtr, VaultError> {
+        match self.keys.get(&unit) {
+            Some(k) => Ok(AesCtr::from_key(self.size, k)),
+            None => Err(VaultError::KeyUnavailable(unit)),
+        }
+    }
+
+    /// Destroy the key for `unit` — the crypto-erasure system-action.
+    ///
+    /// Returns true if a live key existed. After this call, ciphertexts of
+    /// the unit are permanently unreadable through the vault.
+    pub fn destroy_key(&mut self, unit: u64) -> bool {
+        let existed = self.keys.remove(&unit).is_some();
+        if existed {
+            self.states.insert(unit, KeyState::Destroyed);
+        }
+        existed
+    }
+
+    /// Audit view: the key state for `unit`, if it was ever created.
+    pub fn key_state(&self, unit: u64) -> Option<KeyState> {
+        self.states.get(&unit).copied()
+    }
+
+    /// Number of live keys (contributes to metadata space accounting).
+    pub fn live_keys(&self) -> usize {
+        self.keys.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctr::AesCtr;
+
+    #[test]
+    fn roundtrip_through_unit_cipher() {
+        let mut v = KeyVault::new(b"master", KeySize::Aes128);
+        v.ensure_key(7);
+        let c = v.cipher(7).unwrap();
+        let mut data = b"personal data".to_vec();
+        c.apply(AesCtr::iv_from_nonce(7), &mut data);
+        assert_ne!(&data, b"personal data");
+        c.apply(AesCtr::iv_from_nonce(7), &mut data);
+        assert_eq!(&data, b"personal data");
+    }
+
+    #[test]
+    fn destroy_makes_cipher_unavailable() {
+        let mut v = KeyVault::new(b"master", KeySize::Aes256);
+        v.ensure_key(1);
+        assert!(v.destroy_key(1));
+        assert_eq!(v.cipher(1).unwrap_err(), VaultError::KeyUnavailable(1));
+        assert_eq!(v.key_state(1), Some(KeyState::Destroyed));
+        assert!(!v.destroy_key(1), "double destroy reports no live key");
+    }
+
+    #[test]
+    fn recreated_key_differs_from_destroyed_one() {
+        let mut v = KeyVault::new(b"master", KeySize::Aes128);
+        let k1 = v.ensure_key(9).to_vec();
+        v.destroy_key(9);
+        let k2 = v.ensure_key(9).to_vec();
+        assert_ne!(k1, k2, "a destroyed key must never come back");
+    }
+
+    #[test]
+    fn distinct_units_have_distinct_keys() {
+        let mut v = KeyVault::new(b"master", KeySize::Aes256);
+        let a = v.ensure_key(1).to_vec();
+        let b = v.ensure_key(2).to_vec();
+        assert_ne!(a, b);
+        assert_eq!(a.len(), 32);
+    }
+
+    #[test]
+    fn key_sizes_respected() {
+        for (size, len) in [
+            (KeySize::Aes128, 16),
+            (KeySize::Aes192, 24),
+            (KeySize::Aes256, 32),
+        ] {
+            let mut v = KeyVault::new(b"m", size);
+            assert_eq!(v.ensure_key(1).len(), len);
+        }
+    }
+
+    #[test]
+    fn live_key_count_tracks_lifecycle() {
+        let mut v = KeyVault::new(b"m", KeySize::Aes128);
+        v.ensure_key(1);
+        v.ensure_key(2);
+        assert_eq!(v.live_keys(), 2);
+        v.destroy_key(1);
+        assert_eq!(v.live_keys(), 1);
+    }
+}

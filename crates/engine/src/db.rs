@@ -1,0 +1,1180 @@
+//! The compliant database: substrates wired per profile, with the
+//! Data-CASE abstract model maintained alongside for auditability.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use datacase_audit::loggers::{AuditLogger, CsvRowLogger, EncryptedLogger, FullQueryLogger};
+use datacase_audit::record::LogRecord;
+use datacase_core::action::{Action, ActionKind};
+use datacase_core::checker::{ComplianceChecker, ComplianceReport};
+use datacase_core::entity::{EntityKind, EntityRegistry};
+use datacase_core::grounding::erasure::ErasureInterpretation;
+use datacase_core::history::{ActionHistory, HistoryTuple};
+use datacase_core::ids::{EntityId, UnitId};
+use datacase_core::invariants::EvidenceFlags;
+use datacase_core::policy::Policy;
+use datacase_core::purpose::{well_known as wk, PurposeId, PurposeRegistry};
+use datacase_core::regulation::Regulation;
+use datacase_core::state::DatabaseState;
+use datacase_core::unit::{ErasureStatus, Origin};
+use datacase_core::value::Value;
+use datacase_crypto::ctr::AesCtr;
+use datacase_crypto::vault::KeyVault;
+use datacase_policy::enforcer::{AccessRequest, Decision, PolicyEnforcer};
+use datacase_policy::fgac::{FgacConfig, FgacEnforcer};
+use datacase_policy::metatable::MetaTableEnforcer;
+use datacase_policy::rbac::{RbacEnforcer, Role};
+use datacase_sim::time::Ts;
+use datacase_sim::{Meter, SimClock};
+use datacase_storage::forensic::{scan_heap, ForensicFindings};
+use datacase_storage::heap::{HeapDb, HeapStats};
+use datacase_workloads::opstream::{MetaField, MetaSelector, Op};
+
+use crate::profiles::{DeleteStrategy, EngineConfig, ProfileKind};
+
+/// Who is issuing operations (maps workloads to entities).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Actor {
+    /// The controller (WCon).
+    Controller,
+    /// A processor (WPro).
+    Processor,
+    /// The record's data-subject (WCus).
+    Subject,
+}
+
+/// Outcome of one executed operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OpResult {
+    /// Mutation applied.
+    Done,
+    /// Read returned this many payload bytes.
+    Value(usize),
+    /// Metadata-based read returned this many rows.
+    Rows(usize),
+    /// Key not found (deleted or never existed).
+    NotFound,
+    /// Policy enforcement denied the operation.
+    Denied,
+}
+
+/// Per-key bookkeeping the executor needs without touching the model.
+#[derive(Clone, Copy, Debug)]
+struct KeyMeta {
+    unit: UnitId,
+    subject: u32,
+    purpose: PurposeId,
+    ttl: Ts,
+}
+
+/// The compliant database engine.
+pub struct CompliantDb {
+    config: EngineConfig,
+    heap: HeapDb,
+    enforcer: Box<dyn PolicyEnforcer>,
+    logger: Box<dyn AuditLogger>,
+    vault: Option<KeyVault>,
+    state: DatabaseState,
+    history: ActionHistory,
+    purposes: PurposeRegistry,
+    entities: EntityRegistry,
+    controller: EntityId,
+    processor: EntityId,
+    auditor: EntityId,
+    third_party: EntityId,
+    subject_entities: HashMap<u32, EntityId>,
+    key_meta: HashMap<u64, KeyMeta>,
+    unit_key: HashMap<UnitId, u64>,
+    by_purpose: HashMap<PurposeId, HashSet<u64>>,
+    by_subject: HashMap<u32, HashSet<u64>>,
+    clock: SimClock,
+    meter: Arc<Meter>,
+    deletes_since_maintenance: u64,
+    ops_since_checkpoint: u64,
+    log_seq: u64,
+    denied: u64,
+}
+
+impl std::fmt::Debug for CompliantDb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompliantDb")
+            .field("profile", &self.config.profile)
+            .field("keys", &self.key_meta.len())
+            .finish()
+    }
+}
+
+impl CompliantDb {
+    /// Build an engine for `config` on a fresh clock/meter.
+    pub fn new(config: EngineConfig) -> CompliantDb {
+        let clock = SimClock::commodity();
+        let meter = Arc::new(Meter::new());
+        CompliantDb::with_clock(config, clock, meter)
+    }
+
+    /// Build an engine sharing an existing clock/meter (sharded runs).
+    pub fn with_clock(config: EngineConfig, clock: SimClock, meter: Arc<Meter>) -> CompliantDb {
+        let mut entities = EntityRegistry::new();
+        let controller = entities.register("MetaSpace", EntityKind::Controller);
+        let processor = entities.register("CloudProc", EntityKind::Processor);
+        let auditor = entities.register("DPA-Auditor", EntityKind::Auditor);
+        let third_party = entities.register("AdPartner", EntityKind::ThirdParty);
+
+        let enforcer: Box<dyn PolicyEnforcer> = match config.profile {
+            ProfileKind::Stock | ProfileKind::PBase => {
+                let mut rbac = RbacEnforcer::new(clock.clone(), meter.clone());
+                Self::install_roles(&mut rbac, controller, processor, auditor);
+                Box::new(rbac)
+            }
+            ProfileKind::PGBench => Box::new(MetaTableEnforcer::new(clock.clone(), meter.clone())),
+            ProfileKind::PSys => Box::new(FgacEnforcer::new(
+                FgacConfig {
+                    use_index: config.fgac_index,
+                    ..FgacConfig::default()
+                },
+                clock.clone(),
+                meter.clone(),
+            )),
+        };
+
+        let logger: Box<dyn AuditLogger> = match config.profile {
+            ProfileKind::Stock | ProfileKind::PBase => Box::new(CsvRowLogger::new(
+                b"audit-key",
+                clock.clone(),
+                meter.clone(),
+            )),
+            ProfileKind::PGBench => Box::new(FullQueryLogger::new(
+                b"audit-key",
+                clock.clone(),
+                meter.clone(),
+            )),
+            ProfileKind::PSys => Box::new(EncryptedLogger::new(
+                b"audit-key",
+                clock.clone(),
+                meter.clone(),
+            )),
+        };
+
+        let vault = config
+            .tuple_encryption
+            .map(|size| KeyVault::new(b"engine-master-secret", size));
+
+        let heap = HeapDb::new(config.heap.clone(), clock.clone(), meter.clone());
+
+        let mut db = CompliantDb {
+            config,
+            heap,
+            enforcer,
+            logger,
+            vault,
+            state: DatabaseState::new(),
+            history: ActionHistory::new(),
+            purposes: PurposeRegistry::with_defaults(),
+            entities,
+            controller,
+            processor,
+            auditor,
+            third_party,
+            subject_entities: HashMap::new(),
+            key_meta: HashMap::new(),
+            unit_key: HashMap::new(),
+            by_purpose: HashMap::new(),
+            by_subject: HashMap::new(),
+            clock,
+            meter,
+            deletes_since_maintenance: 0,
+            ops_since_checkpoint: 0,
+            log_seq: 0,
+            denied: 0,
+        };
+        db.record_assessments();
+        db
+    }
+
+    fn install_roles(
+        rbac: &mut RbacEnforcer,
+        controller: EntityId,
+        processor: EntityId,
+        auditor: EntityId,
+    ) {
+        use ActionKind::*;
+        let service_purposes = [
+            wk::billing(),
+            wk::analytics(),
+            wk::advertising(),
+            wk::smart_space(),
+            wk::retention(),
+        ];
+        let mut controller_grants: Vec<(PurposeId, Vec<ActionKind>)> = vec![
+            (
+                wk::contract(),
+                vec![Create, UpdatePolicy, UpdateMeta, ReadMeta, Notify],
+            ),
+            (wk::compliance_erase(), vec![Erase, Sanitize, ReadMeta]),
+        ];
+        let mut processor_grants: Vec<(PurposeId, Vec<ActionKind>)> = Vec::new();
+        for p in service_purposes {
+            controller_grants.push((p, vec![Read, UpdateValue, ReadMeta, Derive]));
+            processor_grants.push((p, vec![Read, UpdateValue, ReadMeta, Derive]));
+        }
+        let r_controller = rbac.define_role(Role::new("controller", controller_grants));
+        let r_processor = rbac.define_role(Role::new("processor", processor_grants));
+        let r_subject = rbac.define_role(Role::new(
+            "data-subject",
+            vec![
+                (
+                    wk::subject_access(),
+                    vec![Read, ReadMeta, UpdateValue, UpdatePolicy, Erase, Restore],
+                ),
+                (wk::compliance_erase(), vec![Erase]),
+                (wk::contract(), vec![UpdatePolicy, UpdateMeta, Notify]),
+            ],
+        ));
+        let r_auditor = rbac.define_role(Role::new("auditor", vec![(wk::audit(), vec![ReadMeta])]));
+        rbac.add_member(controller, r_controller);
+        rbac.add_member(processor, r_processor);
+        rbac.add_member(auditor, r_auditor);
+        // Subjects join the subject role as they appear.
+        rbac.set_subject_role(r_subject);
+    }
+
+    fn record_assessments(&mut self) {
+        // Invariant III: a DPIA per purpose before any processing.
+        let now = self.clock.now();
+        for p in [
+            wk::billing(),
+            wk::analytics(),
+            wk::advertising(),
+            wk::smart_space(),
+            wk::retention(),
+            wk::subject_access(),
+            wk::audit(),
+        ] {
+            self.history.record(HistoryTuple {
+                unit: UnitId(u64::MAX),
+                purpose: p,
+                entity: self.controller,
+                action: Action::Assess,
+                at: now,
+            });
+        }
+    }
+
+    fn subject_entity(&mut self, subject: u32) -> EntityId {
+        if let Some(&e) = self.subject_entities.get(&subject) {
+            return e;
+        }
+        let e = self
+            .entities
+            .register(&format!("user-{subject}"), EntityKind::DataSubject);
+        self.subject_entities.insert(subject, e);
+        // RBAC-based profiles enrol the subject into the data-subject role;
+        // unit-scoped enforcers ignore the hook.
+        self.enforcer.on_new_subject(e);
+        e
+    }
+
+    fn actor_entity(&mut self, actor: Actor, subject: u32) -> EntityId {
+        match actor {
+            Actor::Controller => self.controller,
+            Actor::Processor => self.processor,
+            Actor::Subject => self.subject_entity(subject),
+        }
+    }
+
+    fn unit_erased(&self, unit: UnitId) -> bool {
+        self.state
+            .unit(unit)
+            .map(|u| u.erasure.is_erased())
+            .unwrap_or(false)
+    }
+
+    fn next_log(&mut self) -> u64 {
+        self.log_seq += 1;
+        self.log_seq
+    }
+
+    fn log(
+        &mut self,
+        unit: Option<UnitId>,
+        entity: EntityId,
+        purpose: PurposeId,
+        op: &str,
+        payload: &[u8],
+    ) {
+        let seq = self.next_log();
+        self.logger.log(LogRecord {
+            seq,
+            at: self.clock.now(),
+            unit,
+            entity,
+            purpose,
+            op: op.to_owned(),
+            payload: payload.to_vec(),
+            redacted: false,
+        });
+    }
+
+    fn check(
+        &mut self,
+        unit: UnitId,
+        entity: EntityId,
+        purpose: PurposeId,
+        action: ActionKind,
+    ) -> bool {
+        if self.config.profile == ProfileKind::Stock {
+            return true; // vanilla engine: no enforcement at all
+        }
+        let req = AccessRequest {
+            unit,
+            entity,
+            purpose,
+            action,
+            at: self.clock.now(),
+        };
+        match self.enforcer.check(&req) {
+            Decision::Allow => true,
+            Decision::Deny(reason) => {
+                self.denied += 1;
+                let seq = self.next_log();
+                self.logger.log(LogRecord {
+                    seq,
+                    at: self.clock.now(),
+                    unit: Some(unit),
+                    entity,
+                    purpose,
+                    op: "DENIED".into(),
+                    payload: reason.into_bytes(),
+                    redacted: false,
+                });
+                false
+            }
+        }
+    }
+
+    fn encrypt_payload(&mut self, unit: UnitId, payload: &[u8]) -> Vec<u8> {
+        match &mut self.vault {
+            Some(vault) => {
+                vault.ensure_key(unit.0);
+                let cipher = vault.cipher(unit.0).expect("just ensured");
+                let bits = cipher.key_size().bits();
+                self.clock
+                    .charge(self.clock.model().aes_cost(bits, payload.len()));
+                Meter::bump(&self.meter.crypto_bytes, payload.len() as u64);
+                let mut buf = payload.to_vec();
+                cipher.apply(AesCtr::iv_from_nonce(unit.0), &mut buf);
+                buf
+            }
+            None => payload.to_vec(),
+        }
+    }
+
+    fn decrypt_payload(&mut self, unit: UnitId, stored: Vec<u8>) -> Vec<u8> {
+        match &self.vault {
+            Some(vault) => match vault.cipher(unit.0) {
+                Ok(cipher) => {
+                    let bits = cipher.key_size().bits();
+                    self.clock
+                        .charge(self.clock.model().aes_cost(bits, stored.len()));
+                    Meter::bump(&self.meter.crypto_bytes, stored.len() as u64);
+                    let mut buf = stored;
+                    cipher.apply(AesCtr::iv_from_nonce(unit.0), &mut buf);
+                    buf
+                }
+                Err(_) => Vec::new(), // crypto-erased: unreadable
+            },
+            None => stored,
+        }
+    }
+
+    /// Execute one workload operation as `actor`.
+    pub fn execute(&mut self, op: &Op, actor: Actor) -> OpResult {
+        self.ops_since_checkpoint += 1;
+        if self.ops_since_checkpoint >= self.config.checkpoint_every {
+            self.ops_since_checkpoint = 0;
+            self.heap.checkpoint();
+            self.heap.recycle_wal();
+        }
+        match op {
+            Op::Create {
+                key,
+                payload,
+                metadata,
+            } => self.op_create(*key, payload, metadata),
+            Op::ReadData { key } => self.op_read(*key, actor),
+            Op::UpdateData { key, payload } => self.op_update(*key, payload, actor),
+            Op::DeleteData { key } => self.op_delete(*key, actor),
+            Op::ReadMeta { key } => self.op_read_meta(*key, actor),
+            Op::UpdateMeta { key, field } => self.op_update_meta(*key, *field, actor),
+            Op::ReadByMetadata { selector } => self.op_read_by_meta(*selector),
+        }
+    }
+
+    fn op_create(
+        &mut self,
+        key: u64,
+        payload: &[u8],
+        metadata: &datacase_workloads::record::GdprMetadata,
+    ) -> OpResult {
+        if self.key_meta.contains_key(&key) {
+            return OpResult::NotFound; // duplicate key in stream: skip
+        }
+        let now = self.clock.now();
+        let subject_e = self.actor_entity(Actor::Subject, metadata.subject);
+        let unit = self.state.collect(
+            subject_e,
+            Origin::Device(format!("dev-{}", metadata.origin_device)),
+            Value::Bytes(payload.to_vec()),
+            now,
+        );
+        // Base policy set (also the model's ground truth for G6/G17).
+        let ttl = metadata.ttl;
+        let base_policies = vec![
+            Policy::open_ended(wk::subject_access(), subject_e, now),
+            Policy::new(wk::compliance_erase(), subject_e, now, ttl),
+            Policy::new(wk::compliance_erase(), self.controller, now, ttl),
+            Policy::open_ended(wk::contract(), self.controller, now),
+            Policy::open_ended(wk::contract(), subject_e, now),
+            Policy::new(metadata.purpose, self.processor, now, ttl),
+            Policy::new(metadata.purpose, self.controller, now, ttl),
+            Policy::new(wk::retention(), self.processor, now, ttl),
+            Policy::open_ended(wk::audit(), self.auditor, now),
+        ];
+        {
+            let u = self.state.unit_mut(unit).expect("just collected");
+            for p in &base_policies {
+                u.policies.grant(*p, now);
+            }
+            u.encrypted_at_rest = self.config.tuple_encryption.is_some()
+                || self.config.heap.disk_passphrase.is_some();
+        }
+        // The enforcer sees base policies plus profile-dependent padding
+        // (finer-grained slicing in P_SYS — Sieve metadata volume).
+        let mut enforcer_policies = base_policies;
+        while enforcer_policies.len() < self.config.policies_per_unit {
+            let i = enforcer_policies.len() as u64;
+            enforcer_policies.push(Policy::new(
+                wk::analytics(),
+                self.processor,
+                now,
+                Ts(now.0.saturating_add(1 + i)),
+            ));
+        }
+        self.enforcer.register_unit(unit, &enforcer_policies);
+        // Physical insert (encrypted per profile).
+        let stored = self.encrypt_payload(unit, payload);
+        if self.heap.insert(key, unit.0, &stored).is_err() {
+            return OpResult::NotFound;
+        }
+        // Bookkeeping.
+        self.key_meta.insert(
+            key,
+            KeyMeta {
+                unit,
+                subject: metadata.subject,
+                purpose: metadata.purpose,
+                ttl,
+            },
+        );
+        self.unit_key.insert(unit, key);
+        self.by_purpose
+            .entry(metadata.purpose)
+            .or_default()
+            .insert(key);
+        self.by_subject
+            .entry(metadata.subject)
+            .or_default()
+            .insert(key);
+        // Model + audit records (consent capture: the paper's CtrC tuple).
+        self.history.record(HistoryTuple {
+            unit,
+            purpose: wk::contract(),
+            entity: self.controller,
+            action: Action::Create,
+            at: now,
+        });
+        self.log(
+            Some(unit),
+            self.controller,
+            wk::contract(),
+            "INSERT",
+            payload,
+        );
+        OpResult::Done
+    }
+
+    fn op_read(&mut self, key: u64, actor: Actor) -> OpResult {
+        let Some(meta) = self.key_meta.get(&key).copied() else {
+            return OpResult::NotFound;
+        };
+        let purpose = match actor {
+            Actor::Subject => wk::subject_access(),
+            _ => meta.purpose,
+        };
+        let entity = self.actor_entity(actor, meta.subject);
+        if !self.check(meta.unit, entity, purpose, ActionKind::Read) {
+            return OpResult::Denied;
+        }
+        let Some(stored) = self.heap.read(key, false) else {
+            return OpResult::NotFound;
+        };
+        let plain = self.decrypt_payload(meta.unit, stored);
+        self.history.record(HistoryTuple {
+            unit: meta.unit,
+            purpose,
+            entity,
+            action: Action::Read,
+            at: self.clock.now(),
+        });
+        self.log(Some(meta.unit), entity, purpose, "SELECT", &plain);
+        OpResult::Value(plain.len())
+    }
+
+    fn op_update(&mut self, key: u64, payload: &[u8], actor: Actor) -> OpResult {
+        let Some(meta) = self.key_meta.get(&key).copied() else {
+            return OpResult::NotFound;
+        };
+        let purpose = match actor {
+            Actor::Subject => wk::subject_access(),
+            _ => meta.purpose,
+        };
+        let entity = self.actor_entity(actor, meta.subject);
+        if !self.check(meta.unit, entity, purpose, ActionKind::UpdateValue) {
+            return OpResult::Denied;
+        }
+        let stored = self.encrypt_payload(meta.unit, payload);
+        if self.heap.update(key, &stored).is_err() {
+            return OpResult::NotFound;
+        }
+        let now = self.clock.now();
+        if let Some(u) = self.state.unit_mut(meta.unit) {
+            u.value.write(now, Value::Bytes(payload.to_vec()));
+        }
+        self.history.record(HistoryTuple {
+            unit: meta.unit,
+            purpose,
+            entity,
+            action: Action::UpdateValue,
+            at: now,
+        });
+        self.log(Some(meta.unit), entity, purpose, "UPDATE", payload);
+        OpResult::Done
+    }
+
+    fn op_delete(&mut self, key: u64, actor: Actor) -> OpResult {
+        let Some(meta) = self.key_meta.get(&key).copied() else {
+            return OpResult::NotFound;
+        };
+        let entity = self.actor_entity(actor, meta.subject);
+        if !self.check(meta.unit, entity, wk::compliance_erase(), ActionKind::Erase) {
+            return OpResult::Denied;
+        }
+        let (interp, ok) = match self.config.delete_strategy {
+            DeleteStrategy::TombstoneAttribute => (
+                ErasureInterpretation::ReversiblyInaccessible,
+                self.heap.set_hidden(key, true).is_ok(),
+            ),
+            _ => (
+                ErasureInterpretation::Deleted,
+                self.heap.delete(key).is_ok(),
+            ),
+        };
+        if !ok {
+            return OpResult::NotFound;
+        }
+        let now = self.clock.now();
+        let status = match interp {
+            ErasureInterpretation::ReversiblyInaccessible => {
+                ErasureStatus::ReversiblyInaccessible { since: now }
+            }
+            _ => ErasureStatus::Deleted { since: now },
+        };
+        self.state.mark_erased(meta.unit, status, now);
+        if let Some(u) = self.state.unit_mut(meta.unit) {
+            u.policies.revoke_all(now);
+        }
+        self.enforcer.revoke_all(meta.unit, now);
+        if self.config.delete_logs_on_erase {
+            self.logger.redact_unit(meta.unit);
+        }
+        self.history.record(HistoryTuple {
+            unit: meta.unit,
+            purpose: wk::compliance_erase(),
+            entity,
+            action: Action::Erase(interp),
+            at: now,
+        });
+        self.log(
+            Some(meta.unit),
+            entity,
+            wk::compliance_erase(),
+            "DELETE",
+            &[],
+        );
+        // Index maintenance. `key_meta` is deliberately retained: a real
+        // database does not know a key is gone until it probes the index
+        // and heap, so post-delete reads must pay that path (the Figure-4a
+        // mechanism). Only the metadata-scan indexes forget the key.
+        if let Some(s) = self.by_purpose.get_mut(&meta.purpose) {
+            s.remove(&key);
+        }
+        if let Some(s) = self.by_subject.get_mut(&meta.subject) {
+            s.remove(&key);
+        }
+        self.deletes_since_maintenance += 1;
+        if self.deletes_since_maintenance >= self.config.maintenance_every {
+            self.run_maintenance();
+        }
+        OpResult::Done
+    }
+
+    /// Run the delete strategy's periodic maintenance now.
+    pub fn run_maintenance(&mut self) {
+        self.deletes_since_maintenance = 0;
+        match self.config.delete_strategy {
+            DeleteStrategy::DeleteVacuum => {
+                self.heap.vacuum();
+            }
+            DeleteStrategy::DeleteVacuumFull => {
+                self.heap.vacuum_full();
+            }
+            DeleteStrategy::DeleteOnly | DeleteStrategy::TombstoneAttribute => {}
+        }
+    }
+
+    fn op_read_meta(&mut self, key: u64, actor: Actor) -> OpResult {
+        let Some(meta) = self.key_meta.get(&key).copied() else {
+            return OpResult::NotFound;
+        };
+        if self.unit_erased(meta.unit) {
+            // The record's metadata row went with the record.
+            return OpResult::NotFound;
+        }
+        let (entity, purpose) = match actor {
+            Actor::Subject => (
+                self.actor_entity(Actor::Subject, meta.subject),
+                wk::subject_access(),
+            ),
+            Actor::Controller => (self.controller, wk::contract()),
+            Actor::Processor => (self.processor, meta.purpose),
+        };
+        if !self.check(meta.unit, entity, purpose, ActionKind::ReadMeta) {
+            return OpResult::Denied;
+        }
+        // The metadata row itself: policies + provenance summary.
+        let policies = self
+            .state
+            .unit(meta.unit)
+            .map(|u| u.policies.active_at(self.clock.now()).len())
+            .unwrap_or(0);
+        let now = self.clock.now();
+        self.history.record(HistoryTuple {
+            unit: meta.unit,
+            purpose,
+            entity,
+            action: Action::ReadMeta,
+            at: now,
+        });
+        let rendered = format!(
+            "key={key} subject={} purpose={} ttl={} policies={policies}",
+            meta.subject, meta.purpose, meta.ttl
+        );
+        self.log(
+            Some(meta.unit),
+            entity,
+            purpose,
+            "SELECT-META",
+            rendered.as_bytes(),
+        );
+        OpResult::Value(rendered.len())
+    }
+
+    fn op_update_meta(&mut self, key: u64, field: MetaField, actor: Actor) -> OpResult {
+        let Some(meta) = self.key_meta.get(&key).copied() else {
+            return OpResult::NotFound;
+        };
+        if self.unit_erased(meta.unit) {
+            return OpResult::NotFound;
+        }
+        let entity = self.actor_entity(actor, meta.subject);
+        if !self.check(meta.unit, entity, wk::contract(), ActionKind::UpdatePolicy) {
+            return OpResult::Denied;
+        }
+        let now = self.clock.now();
+        // Apply the policy change to the model + enforcer.
+        let new_policy = match field {
+            MetaField::Ttl => {
+                let new_ttl = Ts(meta.ttl.0.saturating_add(86_400_000_000_000)); // +1 day
+                if let Some(km) = self.key_meta.get_mut(&key) {
+                    km.ttl = new_ttl;
+                }
+                Policy::new(wk::compliance_erase(), self.controller, now, new_ttl)
+            }
+            MetaField::Purpose => Policy::new(
+                wk::analytics(),
+                self.processor,
+                now,
+                Ts(now.0.saturating_add(30 * 86_400_000_000_000)),
+            ),
+            MetaField::Objection => {
+                // Objection: revoke sharing-ish access for the third party.
+                if let Some(u) = self.state.unit_mut(meta.unit) {
+                    u.policies.revoke(wk::advertising(), self.third_party, now);
+                }
+                Policy::new(wk::audit(), self.auditor, now, Ts::MAX)
+            }
+        };
+        if let Some(u) = self.state.unit_mut(meta.unit) {
+            u.policies.grant(new_policy, now);
+        }
+        self.enforcer.grant(meta.unit, new_policy);
+        // The metadata-row update is a durable write like any other
+        // statement (the paper: "such operations require more metadata
+        // access and logging").
+        let model = self.clock.model().clone();
+        self.clock.charge(model.log_cost(64));
+        self.clock.charge_nanos(model.txn_overhead + model.fsync);
+        self.history.record(HistoryTuple {
+            unit: meta.unit,
+            purpose: wk::contract(),
+            entity,
+            action: Action::UpdatePolicy,
+            at: now,
+        });
+        // Invariant VIII: notify the subject of the policy change.
+        let now2 = self.clock.now();
+        self.history.record(HistoryTuple {
+            unit: meta.unit,
+            purpose: wk::contract(),
+            entity: self.controller,
+            action: Action::Notify,
+            at: now2,
+        });
+        self.log(
+            Some(meta.unit),
+            entity,
+            wk::contract(),
+            "UPDATE-META+NOTIFY",
+            format!("{field:?}").as_bytes(),
+        );
+        OpResult::Done
+    }
+
+    fn op_read_by_meta(&mut self, selector: MetaSelector) -> OpResult {
+        const SCAN_CAP: usize = 20;
+        let keys: Vec<u64> = match selector {
+            MetaSelector::ByPurpose(p) => self
+                .by_purpose
+                .get(&p)
+                .map(|s| s.iter().copied().take(SCAN_CAP).collect())
+                .unwrap_or_default(),
+            MetaSelector::BySubject(s) => self
+                .by_subject
+                .get(&s)
+                .map(|set| set.iter().copied().take(SCAN_CAP).collect())
+                .unwrap_or_default(),
+        };
+        // Metadata-index probe cost.
+        self.clock
+            .charge_nanos(self.clock.model().index_probe * (1 + keys.len() as u64));
+        Meter::bump(&self.meter.index_probes, 1 + keys.len() as u64);
+        let mut rows = 0usize;
+        for key in keys {
+            let Some(meta) = self.key_meta.get(&key).copied() else {
+                continue;
+            };
+            // Processor reads each matching record under its collection
+            // purpose; enforcement is per-record (FGAC pays per tuple).
+            if !self.check(meta.unit, self.processor, meta.purpose, ActionKind::Read) {
+                continue;
+            }
+            if let Some(stored) = self.heap.read(key, false) {
+                let plain = self.decrypt_payload(meta.unit, stored);
+                self.history.record(HistoryTuple {
+                    unit: meta.unit,
+                    purpose: meta.purpose,
+                    entity: self.processor,
+                    action: Action::Read,
+                    at: self.clock.now(),
+                });
+                let _ = plain;
+                rows += 1;
+            }
+        }
+        let entity = self.processor;
+        self.log(
+            None,
+            entity,
+            wk::retention(),
+            "SELECT-BY-META",
+            format!("{selector:?} rows={rows}").as_bytes(),
+        );
+        OpResult::Rows(rows)
+    }
+
+    // ------------------------------------------------------------------
+    // Compliance-facing surface
+    // ------------------------------------------------------------------
+
+    /// The shared simulated clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// The shared meter.
+    pub fn meter(&self) -> &Arc<Meter> {
+        &self.meter
+    }
+
+    /// Engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The abstract Data-CASE state.
+    pub fn state(&self) -> &DatabaseState {
+        &self.state
+    }
+
+    /// Mutable access to the abstract state (examples build scenarios).
+    pub fn state_mut(&mut self) -> &mut DatabaseState {
+        &mut self.state
+    }
+
+    /// The action history.
+    pub fn history(&self) -> &ActionHistory {
+        &self.history
+    }
+
+    /// The purpose registry.
+    pub fn purposes(&self) -> &PurposeRegistry {
+        &self.purposes
+    }
+
+    /// The entity registry.
+    pub fn entities(&self) -> &EntityRegistry {
+        &self.entities
+    }
+
+    /// The controller entity.
+    pub fn controller(&self) -> EntityId {
+        self.controller
+    }
+
+    /// The processor entity.
+    pub fn processor(&self) -> EntityId {
+        self.processor
+    }
+
+    /// Number of denied operations so far.
+    pub fn denied(&self) -> u64 {
+        self.denied
+    }
+
+    /// Unit id stored under a key.
+    pub fn unit_of_key(&self, key: u64) -> Option<UnitId> {
+        self.key_meta.get(&key).map(|m| m.unit)
+    }
+
+    /// Key a unit is stored under.
+    pub fn key_of_unit(&self, unit: UnitId) -> Option<u64> {
+        self.unit_key.get(&unit).copied()
+    }
+
+    /// Heap statistics.
+    pub fn heap_stats(&self) -> HeapStats {
+        self.heap.stats()
+    }
+
+    /// Direct heap access (erasure executor, benches).
+    pub fn heap_mut(&mut self) -> &mut HeapDb {
+        &mut self.heap
+    }
+
+    /// Direct heap access (read-only).
+    pub fn heap(&self) -> &HeapDb {
+        &self.heap
+    }
+
+    /// The policy enforcer.
+    pub fn enforcer(&self) -> &dyn PolicyEnforcer {
+        self.enforcer.as_ref()
+    }
+
+    /// Mutable enforcer access.
+    pub fn enforcer_mut(&mut self) -> &mut dyn PolicyEnforcer {
+        self.enforcer.as_mut()
+    }
+
+    /// The audit logger.
+    pub fn logger(&self) -> &dyn AuditLogger {
+        self.logger.as_ref()
+    }
+
+    /// Mutable logger access.
+    pub fn logger_mut(&mut self) -> &mut dyn AuditLogger {
+        self.logger.as_mut()
+    }
+
+    /// The key vault, when tuple encryption is on.
+    pub fn vault_mut(&mut self) -> Option<&mut KeyVault> {
+        self.vault.as_mut()
+    }
+
+    /// Record an externally produced history tuple (erasure executor).
+    pub fn record_history(&mut self, tuple: HistoryTuple) {
+        self.history.record(tuple);
+    }
+
+    /// Bind a heap key to a *derived* unit created through
+    /// [`DatabaseState::derive`], so erasure cascades can find its row.
+    pub fn bind_derived_key(&mut self, unit: UnitId, key: u64) {
+        self.key_meta.insert(
+            key,
+            KeyMeta {
+                unit,
+                subject: u32::MAX,
+                purpose: wk::analytics(),
+                ttl: Ts::MAX,
+            },
+        );
+        self.unit_key.insert(unit, key);
+    }
+
+    /// Forensic scan of all persistent layers for `needle` (checkpoints
+    /// the heap first so the scan sees buffered state).
+    pub fn forensic(&mut self, needle: &[u8]) -> ForensicFindings {
+        self.heap.checkpoint();
+        let mut findings = scan_heap(&self.heap, needle);
+        // The audit logs are a persistence layer too.
+        let log_hits = self.logger.scan(needle);
+        if log_hits > 0 {
+            // Fold into the WAL bucket: both are log-shaped retention.
+            findings
+                .wal_lsns
+                .extend(std::iter::repeat_n(u64::MAX, log_hits));
+        }
+        findings
+    }
+
+    /// Run the compliance checker against this engine's model.
+    pub fn compliance_report(&mut self, regulation: &Regulation) -> ComplianceReport {
+        let evidence = EvidenceFlags {
+            audit_log_tamper_evident: self.logger.verify_chain(),
+            encryption_at_rest_default: self.config.tuple_encryption.is_some()
+                || self.config.heap.disk_passphrase.is_some(),
+        };
+        ComplianceChecker::new(regulation.clone())
+            .with_evidence(evidence)
+            .check(&self.state, &self.history, &self.purposes, self.clock.now())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacase_workloads::gdprbench::{GdprBench, Mix};
+
+    fn small_db(profile: ProfileKind) -> (CompliantDb, GdprBench) {
+        let mut config = EngineConfig::for_profile(profile);
+        config.maintenance_every = 50;
+        let db = CompliantDb::new(config);
+        let bench = GdprBench::new(42, 50);
+        (db, bench)
+    }
+
+    fn load(db: &mut CompliantDb, bench: &mut GdprBench, n: usize) {
+        for op in bench.load_phase(n) {
+            let r = db.execute(&op, Actor::Controller);
+            assert_eq!(r, OpResult::Done, "load op failed: {op:?}");
+        }
+    }
+
+    #[test]
+    fn load_and_read_roundtrip_all_profiles() {
+        for profile in [
+            ProfileKind::Stock,
+            ProfileKind::PBase,
+            ProfileKind::PGBench,
+            ProfileKind::PSys,
+        ] {
+            let (mut db, mut bench) = small_db(profile);
+            load(&mut db, &mut bench, 100);
+            let r = db.execute(&Op::ReadData { key: 5 }, Actor::Processor);
+            assert!(
+                matches!(r, OpResult::Value(n) if n == 100),
+                "{profile:?}: {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn subject_reads_own_data() {
+        let (mut db, mut bench) = small_db(ProfileKind::PSys);
+        load(&mut db, &mut bench, 20);
+        let r = db.execute(&Op::ReadData { key: 3 }, Actor::Subject);
+        assert!(matches!(r, OpResult::Value(_)), "{r:?}");
+    }
+
+    #[test]
+    fn delete_then_read_not_found() {
+        let (mut db, mut bench) = small_db(ProfileKind::PBase);
+        load(&mut db, &mut bench, 20);
+        assert_eq!(
+            db.execute(&Op::DeleteData { key: 7 }, Actor::Subject),
+            OpResult::Done
+        );
+        assert_eq!(
+            db.execute(&Op::ReadData { key: 7 }, Actor::Processor),
+            OpResult::NotFound
+        );
+    }
+
+    #[test]
+    fn workload_denies_only_post_erasure_accesses() {
+        // Reads of deleted keys are *correctly* denied on enforcing
+        // profiles (their policies were revoked with the erasure request);
+        // everything else must be allowed.
+        for profile in ProfileKind::PAPER {
+            let (mut db, mut bench) = small_db(profile);
+            load(&mut db, &mut bench, 200);
+            let ops = bench.ops(500, Mix::wcus());
+            let mut deleted: std::collections::HashSet<u64> = Default::default();
+            for op in &ops {
+                let r = db.execute(op, Actor::Subject);
+                if let datacase_workloads::opstream::Op::DeleteData { key } = op {
+                    deleted.insert(*key);
+                }
+                if r == OpResult::Denied {
+                    let key = op.key().expect("denied ops are key-addressed");
+                    assert!(
+                        deleted.contains(&key),
+                        "{profile:?} denied op on live key {key}: {op:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unauthorized_read_denied_on_enforcing_profiles() {
+        for profile in [ProfileKind::PGBench, ProfileKind::PSys] {
+            let (mut db, mut bench) = small_db(profile);
+            load(&mut db, &mut bench, 10);
+            // Delete revokes policies; subsequent processor read on the
+            // tombstone-kept key is policy-denied before storage is hit.
+            let mut cfg = EngineConfig::for_profile(profile);
+            cfg.delete_strategy = DeleteStrategy::TombstoneAttribute;
+            let mut db2 = CompliantDb::new(cfg);
+            let mut bench2 = GdprBench::new(43, 20);
+            for op in bench2.load_phase(10) {
+                db2.execute(&op, Actor::Controller);
+            }
+            db2.execute(&Op::DeleteData { key: 2 }, Actor::Subject);
+            let r = db2.execute(&Op::ReadData { key: 2 }, Actor::Processor);
+            assert_eq!(r, OpResult::Denied, "{profile:?}");
+            assert!(db2.denied() > 0);
+        }
+    }
+
+    #[test]
+    fn profiles_have_ordered_costs() {
+        let mut times = Vec::new();
+        for profile in ProfileKind::PAPER {
+            let (mut db, mut bench) = small_db(profile);
+            load(&mut db, &mut bench, 300);
+            let ops = bench.ops(600, Mix::wcus());
+            let t0 = db.clock().now();
+            for op in &ops {
+                db.execute(op, Actor::Subject);
+            }
+            times.push((profile, db.clock().now().since(t0)));
+        }
+        assert!(
+            times[0].1 < times[1].1 && times[1].1 < times[2].1,
+            "expected P_Base < P_GBench < P_SYS, got {times:?}"
+        );
+    }
+
+    #[test]
+    fn compliance_report_is_clean_after_legitimate_run() {
+        let (mut db, mut bench) = small_db(ProfileKind::PSys);
+        load(&mut db, &mut bench, 50);
+        let ops = bench.ops(100, Mix::wcus());
+        for op in &ops {
+            db.execute(op, Actor::Subject);
+        }
+        let report = db.compliance_report(&Regulation::gdpr());
+        assert!(
+            report.is_compliant(),
+            "violations: {:?}",
+            &report.violations[..report.violations.len().min(5)]
+        );
+    }
+
+    #[test]
+    fn stock_profile_fails_design_security() {
+        let (mut db, mut bench) = small_db(ProfileKind::Stock);
+        load(&mut db, &mut bench, 10);
+        let report = db.compliance_report(&Regulation::gdpr());
+        assert!(
+            !report.of_invariant("VI").is_empty(),
+            "no encryption at rest"
+        );
+    }
+
+    #[test]
+    fn forensic_finds_deleted_data_under_delete_only() {
+        let mut config = EngineConfig::stock(DeleteStrategy::DeleteOnly);
+        config.maintenance_every = u64::MAX;
+        let mut db = CompliantDb::new(config);
+        let mut bench = GdprBench::new(9, 10);
+        for op in bench.load_phase(10) {
+            db.execute(&op, Actor::Controller);
+        }
+        // Grab the payload of key 4 for the needle.
+        let needle = {
+            let stored = db.heap_mut().read(4, true).unwrap();
+            stored[..20].to_vec()
+        };
+        db.execute(&Op::DeleteData { key: 4 }, Actor::Controller);
+        let f = db.forensic(&needle);
+        assert!(f.online(), "DELETE leaves residuals: {}", f.describe());
+    }
+
+    #[test]
+    fn meta_scan_returns_rows() {
+        let (mut db, mut bench) = small_db(ProfileKind::PBase);
+        load(&mut db, &mut bench, 200);
+        let r = db.execute(
+            &Op::ReadByMetadata {
+                selector: MetaSelector::BySubject(3),
+            },
+            Actor::Processor,
+        );
+        match r {
+            OpResult::Rows(_) => {}
+            other => panic!("expected rows, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn update_meta_records_policy_change_and_notify() {
+        let (mut db, mut bench) = small_db(ProfileKind::PBase);
+        load(&mut db, &mut bench, 10);
+        db.execute(
+            &Op::UpdateMeta {
+                key: 1,
+                field: MetaField::Ttl,
+            },
+            Actor::Controller,
+        );
+        let unit = db.unit_of_key(1).unwrap();
+        let tuples = db.history().of_unit(unit);
+        assert!(tuples
+            .iter()
+            .any(|t| t.action.kind() == ActionKind::UpdatePolicy));
+        assert!(tuples.iter().any(|t| t.action.kind() == ActionKind::Notify));
+    }
+}

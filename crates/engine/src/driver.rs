@@ -1,0 +1,168 @@
+//! Workload drivers: sequential runs (the paper's completion-time metric)
+//! and a sharded multi-client mode (crossbeam) for scalability ablations.
+
+use std::time::Instant;
+
+use datacase_sim::time::Dur;
+use datacase_sim::MeterSnapshot;
+use datacase_workloads::opstream::Op;
+
+use crate::db::{Actor, CompliantDb, OpResult};
+use crate::profiles::EngineConfig;
+
+/// Statistics of one workload run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunStats {
+    /// Operations executed.
+    pub ops: usize,
+    /// Operations denied by policy enforcement.
+    pub denied: usize,
+    /// Operations targeting missing keys.
+    pub not_found: usize,
+    /// Simulated completion time.
+    pub simulated: Dur,
+    /// Wall-clock time of the run (host-side, for criterion context).
+    pub wall: std::time::Duration,
+    /// Work counters accumulated during the run.
+    pub work: MeterSnapshot,
+}
+
+impl RunStats {
+    /// Simulated throughput in ops per simulated second.
+    pub fn sim_ops_per_sec(&self) -> f64 {
+        let secs = self.simulated.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.ops as f64 / secs
+        }
+    }
+}
+
+/// Run `ops` sequentially on `db` as `actor`, returning completion stats.
+pub fn run_ops(db: &mut CompliantDb, ops: &[Op], actor: Actor) -> RunStats {
+    let sim_start = db.clock().now();
+    let meter_start = db.meter().snapshot();
+    let wall_start = Instant::now();
+    let mut denied = 0usize;
+    let mut not_found = 0usize;
+    for op in ops {
+        match db.execute(op, actor) {
+            OpResult::Denied => denied += 1,
+            OpResult::NotFound => not_found += 1,
+            _ => {}
+        }
+    }
+    RunStats {
+        ops: ops.len(),
+        denied,
+        not_found,
+        simulated: db.clock().now().since(sim_start),
+        wall: wall_start.elapsed(),
+        work: db.meter().snapshot().diff(&meter_start),
+    }
+}
+
+/// Sharded multi-client run: keys are hash-partitioned over `shards`
+/// independent engine instances executing in parallel threads; completion
+/// time is the slowest shard's simulated time (a barrier at the end, as in
+/// multi-client YCSB runs).
+pub fn sharded_run(
+    config: &EngineConfig,
+    load: &[Op],
+    txns: &[Op],
+    actor: Actor,
+    shards: usize,
+) -> Vec<RunStats> {
+    assert!(shards > 0);
+    let shard_of = |op: &Op, i: usize| -> usize {
+        match op.key() {
+            Some(k) => (k % shards as u64) as usize,
+            None => i % shards, // scans round-robin
+        }
+    };
+    let mut load_parts: Vec<Vec<Op>> = vec![Vec::new(); shards];
+    for (i, op) in load.iter().enumerate() {
+        load_parts[shard_of(op, i)].push(op.clone());
+    }
+    let mut txn_parts: Vec<Vec<Op>> = vec![Vec::new(); shards];
+    for (i, op) in txns.iter().enumerate() {
+        txn_parts[shard_of(op, i)].push(op.clone());
+    }
+    let mut out: Vec<Option<RunStats>> = vec![None; shards];
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (shard, (load_ops, txn_ops)) in load_parts.into_iter().zip(txn_parts).enumerate() {
+            let cfg = config.clone();
+            handles.push((
+                shard,
+                scope.spawn(move |_| {
+                    let mut db = CompliantDb::new(cfg);
+                    for op in &load_ops {
+                        db.execute(op, Actor::Controller);
+                    }
+                    run_ops(&mut db, &txn_ops, actor)
+                }),
+            ));
+        }
+        for (shard, h) in handles {
+            out[shard] = Some(h.join().expect("shard thread panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    out.into_iter().map(|s| s.expect("filled")).collect()
+}
+
+/// The aggregate completion time of a sharded run: the slowest shard.
+pub fn sharded_completion(stats: &[RunStats]) -> Dur {
+    stats.iter().map(|s| s.simulated).max().unwrap_or(Dur::ZERO)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::ProfileKind;
+    use datacase_workloads::gdprbench::{GdprBench, Mix};
+
+    #[test]
+    fn run_ops_reports_stats() {
+        let mut db = CompliantDb::new(EngineConfig::for_profile(ProfileKind::PBase));
+        let mut bench = GdprBench::new(1, 50);
+        let load = bench.load_phase(100);
+        let stats = run_ops(&mut db, &load, Actor::Controller);
+        assert_eq!(stats.ops, 100);
+        assert_eq!(stats.denied, 0);
+        assert!(stats.simulated > Dur::ZERO);
+        assert!(stats.work.log_records >= 100);
+        assert!(stats.sim_ops_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn sharded_run_covers_all_ops() {
+        let config = EngineConfig::for_profile(ProfileKind::PBase);
+        let mut bench = GdprBench::new(2, 50);
+        let load = bench.load_phase(200);
+        let txns = bench.ops(200, Mix::wcus());
+        let stats = sharded_run(&config, &load, &txns, Actor::Subject, 4);
+        assert_eq!(stats.len(), 4);
+        let total_ops: usize = stats.iter().map(|s| s.ops).sum();
+        assert_eq!(total_ops, 200);
+        assert!(sharded_completion(&stats) > Dur::ZERO);
+    }
+
+    #[test]
+    fn sharding_reduces_completion_time() {
+        let config = EngineConfig::for_profile(ProfileKind::PBase);
+        let mut bench = GdprBench::new(3, 100);
+        let load = bench.load_phase(400);
+        let txns = bench.ops(400, Mix::wcus());
+        let seq = sharded_run(&config, &load, &txns, Actor::Subject, 1);
+        let par = sharded_run(&config, &load, &txns, Actor::Subject, 4);
+        assert!(
+            sharded_completion(&par) < sharded_completion(&seq),
+            "4 shards {:?} vs 1 shard {:?}",
+            sharded_completion(&par),
+            sharded_completion(&seq)
+        );
+    }
+}

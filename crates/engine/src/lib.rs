@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+//! # datacase-engine
+//!
+//! The `CompliantDb` engine: the paper's three GDPR-compliance profiles
+//! (§4.2) realised over the from-scratch substrates.
+//!
+//! * **P_Base** — RBAC, CSV row-level response logging, AES-256 per-tuple
+//!   encryption, erasure = DELETE + (periodic) VACUUM. Least restrictive,
+//!   cheapest.
+//! * **P_GBench** — policies in a separate metadata table (join per
+//!   operation), full query+response logging, LUKS-style (SHA-256-derived
+//!   key) disk encryption, erasure = DELETE only.
+//! * **P_SYS** — Sieve-style FGAC middleware (fine per-tuple policy
+//!   checks), AES-128 encrypted data and logs, erasure = DELETE +
+//!   VACUUM FULL + deletion of the unit's logs. Most restrictive, most
+//!   expensive.
+//!
+//! The engine simultaneously maintains the Data-CASE *abstract model*
+//! (state + action history from `datacase-core`), so the compliance
+//! checker can audit any run, and exposes the erasure executor that maps
+//! grounded interpretations to system-action plans (Table 1).
+
+pub mod db;
+pub mod driver;
+pub mod erasure;
+pub mod pia;
+pub mod profiles;
+pub mod space;
+pub mod sweeper;
+
+pub use db::{CompliantDb, OpResult};
+pub use driver::{run_ops, sharded_run, RunStats};
+pub use erasure::{lsm_erase, LsmEraseOutcome};
+pub use pia::{assess, certify, Certificate, PiaReport};
+pub use profiles::{EngineConfig, ProfileKind};
+pub use space::SpaceReport;
+pub use sweeper::{sweep, SweepReport, SweeperConfig};

@@ -1,0 +1,217 @@
+//! Engine configuration and the three compliance profiles.
+
+use datacase_crypto::aes::KeySize;
+use datacase_storage::heap::HeapConfig;
+
+/// Which compliance profile an engine instance embodies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProfileKind {
+    /// Stock engine: no policy enforcement, minimal logging, no
+    /// encryption. Models vanilla PostgreSQL for Table 1 / Figure 4a.
+    Stock,
+    /// P_Base (§4.2): RBAC + CSV row logs + AES-256 + DELETE+VACUUM.
+    PBase,
+    /// P_GBench (§4.2): metadata-table joins + full query logs + LUKS disk
+    /// encryption + DELETE only.
+    PGBench,
+    /// P_SYS (§4.2): Sieve FGAC + encrypted logs + AES-128 + DELETE +
+    /// VACUUM FULL + log deletion.
+    PSys,
+}
+
+impl ProfileKind {
+    /// Figure labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProfileKind::Stock => "Stock",
+            ProfileKind::PBase => "P_Base",
+            ProfileKind::PGBench => "P_GBench",
+            ProfileKind::PSys => "P_SYS",
+        }
+    }
+
+    /// All three paper profiles, in the figures' order.
+    pub const PAPER: [ProfileKind; 3] =
+        [ProfileKind::PBase, ProfileKind::PGBench, ProfileKind::PSys];
+}
+
+/// How deletes are grounded during workload execution (Figure 4a's four
+/// strategies). Maintenance (vacuum / vacuum-full) runs every
+/// [`EngineConfig::maintenance_every`] deletes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DeleteStrategy {
+    /// Plain `DELETE` — dead tuples accumulate forever.
+    DeleteOnly,
+    /// `DELETE` + periodic lazy `VACUUM`.
+    DeleteVacuum,
+    /// `DELETE` + periodic `VACUUM FULL`.
+    DeleteVacuumFull,
+    /// Hidden-attribute update ("Tombstones (Indexing)") — reversible
+    /// inaccessibility; bloats like an UPDATE, filters on every read.
+    TombstoneAttribute,
+}
+
+impl DeleteStrategy {
+    /// Figure 4a's series label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DeleteStrategy::DeleteOnly => "DELETE",
+            DeleteStrategy::DeleteVacuum => "DELETE + VACUUM",
+            DeleteStrategy::DeleteVacuumFull => "DELETE and VACUUM FULL",
+            DeleteStrategy::TombstoneAttribute => "Tombstones (Indexing)",
+        }
+    }
+
+    /// The four strategies in the figure's legend order.
+    pub const ALL: [DeleteStrategy; 4] = [
+        DeleteStrategy::DeleteVacuumFull,
+        DeleteStrategy::TombstoneAttribute,
+        DeleteStrategy::DeleteOnly,
+        DeleteStrategy::DeleteVacuum,
+    ];
+}
+
+/// Full engine configuration.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// The profile (drives enforcement/logging/crypto choices).
+    pub profile: ProfileKind,
+    /// Heap configuration.
+    pub heap: HeapConfig,
+    /// Per-tuple payload encryption (None = plaintext payloads).
+    pub tuple_encryption: Option<KeySize>,
+    /// Delete grounding used by workload deletes.
+    pub delete_strategy: DeleteStrategy,
+    /// Run the strategy's maintenance after this many deletes.
+    pub maintenance_every: u64,
+    /// Redact the unit's logs on every delete (P_SYS behaviour).
+    pub delete_logs_on_erase: bool,
+    /// Fine-grained policies per unit registered at collection (drives
+    /// P_SYS's metadata footprint).
+    pub policies_per_unit: usize,
+    /// Checkpoint (flush + WAL recycle) after this many operations.
+    pub checkpoint_every: u64,
+    /// People (data subjects) known to the engine.
+    pub people: u32,
+    /// Use the FGAC policy index (ablation switch; P_SYS only).
+    pub fgac_index: bool,
+}
+
+impl EngineConfig {
+    /// Stock engine (vanilla PSQL stand-in) with a delete strategy —
+    /// the Figure 4a/Table 1 configuration.
+    pub fn stock(strategy: DeleteStrategy) -> EngineConfig {
+        EngineConfig {
+            profile: ProfileKind::Stock,
+            heap: HeapConfig::default(),
+            tuple_encryption: None,
+            delete_strategy: strategy,
+            maintenance_every: 1000,
+            delete_logs_on_erase: false,
+            policies_per_unit: 0,
+            checkpoint_every: 20_000,
+            people: 1000,
+            fgac_index: true,
+        }
+    }
+
+    /// The P_Base profile.
+    pub fn p_base() -> EngineConfig {
+        EngineConfig {
+            profile: ProfileKind::PBase,
+            heap: HeapConfig::default(),
+            tuple_encryption: Some(KeySize::Aes256),
+            delete_strategy: DeleteStrategy::DeleteVacuum,
+            maintenance_every: 1000,
+            delete_logs_on_erase: false,
+            policies_per_unit: 0,
+            checkpoint_every: 20_000,
+            people: 1000,
+            fgac_index: true,
+        }
+    }
+
+    /// The P_GBench profile.
+    pub fn p_gbench() -> EngineConfig {
+        EngineConfig {
+            profile: ProfileKind::PGBench,
+            heap: HeapConfig {
+                disk_passphrase: Some(b"luks-gbench-passphrase".to_vec()),
+                ..HeapConfig::default()
+            },
+            tuple_encryption: None,
+            delete_strategy: DeleteStrategy::DeleteOnly,
+            maintenance_every: u64::MAX,
+            delete_logs_on_erase: false,
+            policies_per_unit: 5,
+            checkpoint_every: 20_000,
+            people: 1000,
+            fgac_index: true,
+        }
+    }
+
+    /// The P_SYS profile.
+    pub fn p_sys() -> EngineConfig {
+        EngineConfig {
+            profile: ProfileKind::PSys,
+            heap: HeapConfig::default(),
+            tuple_encryption: Some(KeySize::Aes128),
+            delete_strategy: DeleteStrategy::DeleteVacuumFull,
+            maintenance_every: 2000,
+            delete_logs_on_erase: true,
+            policies_per_unit: 10,
+            checkpoint_every: 20_000,
+            people: 1000,
+            fgac_index: true,
+        }
+    }
+
+    /// Config for a profile kind.
+    pub fn for_profile(kind: ProfileKind) -> EngineConfig {
+        match kind {
+            ProfileKind::Stock => EngineConfig::stock(DeleteStrategy::DeleteOnly),
+            ProfileKind::PBase => EngineConfig::p_base(),
+            ProfileKind::PGBench => EngineConfig::p_gbench(),
+            ProfileKind::PSys => EngineConfig::p_sys(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_match_paper_spec() {
+        let base = EngineConfig::p_base();
+        assert_eq!(base.tuple_encryption, Some(KeySize::Aes256));
+        assert_eq!(base.delete_strategy, DeleteStrategy::DeleteVacuum);
+        assert!(!base.delete_logs_on_erase);
+
+        let gbench = EngineConfig::p_gbench();
+        assert!(gbench.heap.disk_passphrase.is_some(), "LUKS disk");
+        assert_eq!(gbench.delete_strategy, DeleteStrategy::DeleteOnly);
+
+        let sys = EngineConfig::p_sys();
+        assert_eq!(sys.tuple_encryption, Some(KeySize::Aes128));
+        assert_eq!(sys.delete_strategy, DeleteStrategy::DeleteVacuumFull);
+        assert!(sys.delete_logs_on_erase);
+        assert!(sys.policies_per_unit > gbench.policies_per_unit);
+    }
+
+    #[test]
+    fn strategy_labels_match_figure_4a() {
+        assert_eq!(DeleteStrategy::DeleteVacuum.label(), "DELETE + VACUUM");
+        assert_eq!(
+            DeleteStrategy::TombstoneAttribute.label(),
+            "Tombstones (Indexing)"
+        );
+        assert_eq!(DeleteStrategy::ALL.len(), 4);
+    }
+
+    #[test]
+    fn profile_labels() {
+        assert_eq!(ProfileKind::PBase.label(), "P_Base");
+        assert_eq!(ProfileKind::PAPER.len(), 3);
+    }
+}

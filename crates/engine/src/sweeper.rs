@@ -1,0 +1,236 @@
+//! The retention sweeper: automated G17 maintenance.
+//!
+//! The paper's challenge section asks for "a comprehensive tool that can
+//! be retrofitted on any non-compliant system to make it compliant"; the
+//! sweeper is that tool's first component for erasure. It scans the model
+//! for units whose `compliance-erase` deadline has passed (or is about to)
+//! and executes the configured erasure grounding on them — turning G17
+//! from a checked invariant into a maintained one.
+
+use datacase_core::grounding::erasure::ErasureInterpretation;
+use datacase_core::ids::UnitId;
+use datacase_core::purpose::well_known as wk;
+use datacase_sim::time::{Dur, Ts};
+
+use crate::db::CompliantDb;
+use crate::erasure::erase_now;
+
+/// Sweeper configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SweeperConfig {
+    /// The erasure grounding applied to expired units.
+    pub interpretation: ErasureInterpretation,
+    /// Erase this long *before* the deadline (safety margin; a sweep that
+    /// runs exactly at the deadline is already late by the paper's
+    /// "without undue delay").
+    pub lead: Dur,
+}
+
+impl Default for SweeperConfig {
+    fn default() -> Self {
+        SweeperConfig {
+            interpretation: ErasureInterpretation::Deleted,
+            lead: Dur::from_secs(3600),
+        }
+    }
+}
+
+/// Result of one sweep.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SweepReport {
+    /// Units whose retention deadline was due and that were erased now.
+    pub erased: Vec<UnitId>,
+    /// Units already erased (nothing to do).
+    pub already_erased: usize,
+    /// Due units the sweeper could not erase (no key binding).
+    pub failed: Vec<UnitId>,
+}
+
+impl SweepReport {
+    /// Did the sweep leave any due unit unerased?
+    pub fn fully_swept(&self) -> bool {
+        self.failed.is_empty()
+    }
+}
+
+/// Find every personal unit whose earliest `compliance-erase` deadline is
+/// within `config.lead` of `now` (or past), and erase the live ones.
+pub fn sweep(db: &mut CompliantDb, config: SweeperConfig) -> SweepReport {
+    let now = db.clock().now();
+    let horizon = now + config.lead;
+    // Collect due units first (the erase mutates state).
+    let mut due: Vec<(UnitId, bool)> = Vec::new();
+    for id in db.state().unit_ids_sorted() {
+        let unit = db.state().unit(id).expect("listed");
+        if !unit.is_personal() {
+            continue;
+        }
+        let deadline = unit
+            .policies
+            .records()
+            .iter()
+            .filter(|r| r.policy.purpose == wk::compliance_erase())
+            .map(|r| r.policy.until)
+            .min();
+        let Some(deadline) = deadline else { continue };
+        if deadline <= horizon {
+            due.push((id, unit.erasure.is_erased()));
+        }
+    }
+    let mut report = SweepReport::default();
+    for (unit, already) in due {
+        if already {
+            report.already_erased += 1;
+            continue;
+        }
+        match db.key_of_unit(unit) {
+            Some(key) if erase_now(db, key, config.interpretation) => {
+                report.erased.push(unit);
+            }
+            _ => report.failed.push(unit),
+        }
+    }
+    report
+}
+
+/// The next instant a sweep will have work to do: the earliest erase
+/// deadline among live personal units, minus the lead. `None` if nothing
+/// is scheduled for erasure.
+pub fn next_due(db: &CompliantDb, config: SweeperConfig) -> Option<Ts> {
+    let mut earliest: Option<Ts> = None;
+    for id in db.state().unit_ids_sorted() {
+        let unit = db.state().unit(id).expect("listed");
+        if !unit.is_personal() || unit.erasure.is_erased() {
+            continue;
+        }
+        let deadline = unit
+            .policies
+            .records()
+            .iter()
+            .filter(|r| r.policy.purpose == wk::compliance_erase())
+            .map(|r| r.policy.until)
+            .min();
+        if let Some(d) = deadline {
+            earliest = Some(match earliest {
+                Some(e) => e.min(d),
+                None => d,
+            });
+        }
+    }
+    earliest.map(|d| Ts(d.0.saturating_sub(config.lead.0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::{Actor, CompliantDb};
+    use crate::profiles::EngineConfig;
+    use datacase_core::regulation::Regulation;
+    use datacase_workloads::opstream::Op;
+    use datacase_workloads::record::GdprMetadata;
+
+    fn db_with_ttls(ttls: &[u64]) -> CompliantDb {
+        let mut db = CompliantDb::new(EngineConfig::p_base());
+        for (i, &ttl) in ttls.iter().enumerate() {
+            let metadata = GdprMetadata {
+                subject: i as u32,
+                purpose: wk::billing(),
+                ttl: Ts::from_secs(ttl),
+                origin_device: 0,
+                objects_to_sharing: false,
+            };
+            db.execute(
+                &Op::Create {
+                    key: i as u64,
+                    payload: format!("record-{i}").into_bytes(),
+                    metadata,
+                },
+                Actor::Controller,
+            );
+        }
+        db
+    }
+
+    #[test]
+    fn sweep_erases_only_due_units() {
+        let mut db = db_with_ttls(&[100, 10_000_000]);
+        db.clock().advance_to(Ts::from_secs(200));
+        let report = sweep(&mut db, SweeperConfig::default());
+        assert_eq!(report.erased.len(), 1);
+        assert!(report.fully_swept());
+        let early = db.unit_of_key(0).unwrap();
+        let late = db.unit_of_key(1).unwrap();
+        assert!(db.state().unit(early).unwrap().erasure.is_erased());
+        assert!(!db.state().unit(late).unwrap().erasure.is_erased());
+    }
+
+    #[test]
+    fn swept_db_stays_g17_compliant_past_deadlines() {
+        let mut db = db_with_ttls(&[100, 200, 300]);
+        // Without sweeping, letting deadlines pass breaks G17…
+        db.clock().advance_to(Ts::from_secs(40 * 24 * 3600));
+        let before = db.compliance_report(&Regulation::gdpr());
+        assert!(!before.is_compliant());
+        // …but a sweep (even this late) restores the erased-status side.
+        let report = sweep(&mut db, SweeperConfig::default());
+        assert_eq!(report.erased.len(), 3);
+        let after = db.compliance_report(&Regulation::gdpr());
+        assert!(after
+            .of_invariant("G17")
+            .iter()
+            .all(|v| !v.message.contains("regulation requires")));
+    }
+
+    #[test]
+    fn proactive_sweeps_never_let_g17_break() {
+        let mut db = db_with_ttls(&[3600, 7200, 10_800]);
+        let config = SweeperConfig {
+            lead: Dur::from_secs(600),
+            ..SweeperConfig::default()
+        };
+        // Sweep at each next-due instant before the deadline passes.
+        for _ in 0..3 {
+            let Some(due) = next_due(&db, config) else {
+                break;
+            };
+            db.clock().advance_to(due);
+            sweep(&mut db, config);
+            let report = db.compliance_report(&Regulation::gdpr());
+            assert!(
+                report.of_invariant("G17").is_empty(),
+                "G17 must hold continuously: {:?}",
+                report.of_invariant("G17")
+            );
+        }
+        assert_eq!(next_due(&db, config), None, "everything erased");
+    }
+
+    #[test]
+    fn second_sweep_is_idempotent() {
+        let mut db = db_with_ttls(&[100]);
+        db.clock().advance_to(Ts::from_secs(5000));
+        let first = sweep(&mut db, SweeperConfig::default());
+        assert_eq!(first.erased.len(), 1);
+        let second = sweep(&mut db, SweeperConfig::default());
+        assert!(second.erased.is_empty());
+        assert_eq!(second.already_erased, 1);
+    }
+
+    #[test]
+    fn sweeper_respects_configured_interpretation() {
+        let mut db = db_with_ttls(&[100]);
+        db.clock().advance_to(Ts::from_secs(5000));
+        let config = SweeperConfig {
+            interpretation: ErasureInterpretation::StronglyDeleted,
+            ..SweeperConfig::default()
+        };
+        sweep(&mut db, config);
+        let unit = db.unit_of_key(0).unwrap();
+        assert!(db
+            .state()
+            .unit(unit)
+            .unwrap()
+            .erasure
+            .satisfies(ErasureInterpretation::StronglyDeleted));
+    }
+}

@@ -1,0 +1,61 @@
+//! Storage-layer errors.
+
+/// Errors surfaced by the storage engines.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StorageError {
+    /// The requested key does not exist (or is not visible).
+    KeyNotFound(u64),
+    /// The key already exists (primary-key violation).
+    DuplicateKey(u64),
+    /// A tuple larger than a page was offered.
+    TupleTooLarge {
+        /// Requested payload size.
+        size: usize,
+        /// Maximum size a page can hold.
+        max: usize,
+    },
+    /// A page id outside the allocated file.
+    PageOutOfBounds(u32),
+    /// WAL replay found a corrupt or truncated record.
+    WalCorrupt(String),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::KeyNotFound(k) => write!(f, "key {k} not found"),
+            StorageError::DuplicateKey(k) => write!(f, "key {k} already exists"),
+            StorageError::TupleTooLarge { size, max } => {
+                write!(f, "tuple of {size} bytes exceeds page capacity {max}")
+            }
+            StorageError::PageOutOfBounds(p) => write!(f, "page {p} out of bounds"),
+            StorageError::WalCorrupt(msg) => write!(f, "WAL corrupt: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Storage result alias.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            format!("{}", StorageError::KeyNotFound(5)),
+            "key 5 not found"
+        );
+        assert!(format!(
+            "{}",
+            StorageError::TupleTooLarge {
+                size: 9000,
+                max: 8000
+            }
+        )
+        .contains("9000"));
+    }
+}

@@ -1,0 +1,142 @@
+//! The forensic residual scanner: the independent observer that checks
+//! whether "erased" personal data physically persists anywhere.
+//!
+//! This is what turns Table 1 from a claimed matrix into a *measured* one:
+//! after each erasure grounding executes, the scanner inspects
+//!
+//! * heap pages as they are on disk (dead tuples, unvacuumed versions),
+//! * the WAL (payloads of old records),
+//! * drive remanence (overwritten sectors not yet sanitised),
+//! * LSM runs (shadowed versions under tombstones).
+
+use crate::heap::HeapDb;
+use crate::lsm::LsmTree;
+
+/// Where residuals of a needle were found.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ForensicFindings {
+    /// Heap/file pages whose current bytes contain the needle.
+    pub file_pages: Vec<u32>,
+    /// WAL records whose payload contains the needle.
+    pub wal_lsns: Vec<u64>,
+    /// Sectors whose drive-remanence layer contains the needle.
+    pub remanent_pages: Vec<u32>,
+    /// LSM entries (across runs + memtable) containing the needle.
+    pub lsm_entries: usize,
+}
+
+impl ForensicFindings {
+    /// Residuals reachable through *online* storage (file pages, WAL, LSM
+    /// runs) — what an attacker with filesystem access gets. This is the
+    /// evidence relevant to the illegal-inference (II) probe.
+    pub fn online(&self) -> bool {
+        !self.file_pages.is_empty() || !self.wal_lsns.is_empty() || self.lsm_entries > 0
+    }
+
+    /// Residuals at any layer, including drive remanence — what a
+    /// forensics lab gets. Permanent deletion must clear this too.
+    pub fn any(&self) -> bool {
+        self.online() || !self.remanent_pages.is_empty()
+    }
+
+    /// One-line description for probe notes.
+    pub fn describe(&self) -> String {
+        format!(
+            "file_pages={} wal_records={} remanent_sectors={} lsm_entries={}",
+            self.file_pages.len(),
+            self.wal_lsns.len(),
+            self.remanent_pages.len(),
+            self.lsm_entries
+        )
+    }
+}
+
+/// Scan a heap database for residuals of `needle`.
+///
+/// The caller should `checkpoint()` first so buffered state has reached
+/// the disk; the scanner reads only the persistent layers.
+pub fn scan_heap(db: &HeapDb, needle: &[u8]) -> ForensicFindings {
+    ForensicFindings {
+        file_pages: db.disk().scan_raw(needle),
+        wal_lsns: db.wal().scan(needle),
+        remanent_pages: db.disk().scan_remanent(needle),
+        lsm_entries: 0,
+    }
+}
+
+/// Scan an LSM tree for residuals of `needle`.
+pub fn scan_lsm(tree: &LsmTree, needle: &[u8]) -> ForensicFindings {
+    ForensicFindings {
+        lsm_entries: tree.scan_physical(needle),
+        ..ForensicFindings::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delete_only_leaves_online_residuals() {
+        let mut db = HeapDb::default_single();
+        db.insert(1, 1, b"forensic-target").unwrap();
+        db.delete(1).unwrap();
+        db.checkpoint();
+        let f = scan_heap(&db, b"forensic-target");
+        assert!(f.online(), "{}", f.describe());
+        assert!(!f.file_pages.is_empty());
+        assert!(!f.wal_lsns.is_empty());
+    }
+
+    #[test]
+    fn vacuum_clears_pages_not_wal() {
+        let mut db = HeapDb::default_single();
+        db.insert(1, 1, b"forensic-target").unwrap();
+        db.delete(1).unwrap();
+        db.vacuum();
+        db.checkpoint();
+        let f = scan_heap(&db, b"forensic-target");
+        assert!(f.file_pages.is_empty(), "{}", f.describe());
+        assert!(!f.wal_lsns.is_empty(), "WAL still retains it");
+        assert!(f.online());
+    }
+
+    #[test]
+    fn full_stack_erasure_clears_everything() {
+        let mut db = HeapDb::default_single();
+        db.insert(1, 77, b"forensic-target").unwrap();
+        db.delete(1).unwrap();
+        db.vacuum_full();
+        db.scrub_wal_unit(77);
+        db.sanitize_drive(3);
+        db.checkpoint();
+        let f = scan_heap(&db, b"forensic-target");
+        assert!(!f.any(), "{}", f.describe());
+    }
+
+    #[test]
+    fn lsm_residuals_until_compaction() {
+        let mut t = LsmTree::default_single();
+        t.put(1, 1, b"lsm-target");
+        t.flush();
+        t.delete(1, 1);
+        let f = scan_lsm(&t, b"lsm-target");
+        assert!(f.online());
+        t.compact_all();
+        let f2 = scan_lsm(&t, b"lsm-target");
+        assert!(!f2.any(), "{}", f2.describe());
+    }
+
+    #[test]
+    fn describe_is_informative() {
+        let f = ForensicFindings {
+            file_pages: vec![1, 2],
+            wal_lsns: vec![9],
+            remanent_pages: vec![],
+            lsm_entries: 0,
+        };
+        let d = f.describe();
+        assert!(d.contains("file_pages=2"));
+        assert!(d.contains("wal_records=1"));
+    }
+}

@@ -1,0 +1,218 @@
+//! A bucket-chained hash index (the heap's fast key→TID path, and the
+//! policy middleware's lookup structure).
+
+use datacase_sim::{Meter, SimClock};
+
+use crate::tuple::Tid;
+
+/// Hash index over `(key, Tid)` pairs with duplicate keys (MVCC versions).
+pub struct HashIndex {
+    buckets: Vec<Vec<(u64, Tid)>>,
+    len: usize,
+    clock: SimClock,
+    meter: std::sync::Arc<Meter>,
+}
+
+impl std::fmt::Debug for HashIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HashIndex")
+            .field("entries", &self.len)
+            .field("buckets", &self.buckets.len())
+            .finish()
+    }
+}
+
+fn hash64(mut x: u64) -> u64 {
+    // Fibonacci/avalanche mix (splitmix64 finaliser).
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl HashIndex {
+    /// An empty index.
+    pub fn new(clock: SimClock, meter: std::sync::Arc<Meter>) -> HashIndex {
+        HashIndex {
+            buckets: vec![Vec::new(); 16],
+            len: 0,
+            clock,
+            meter,
+        }
+    }
+
+    fn probe(&self) {
+        self.clock.charge_nanos(self.clock.model().index_probe);
+        Meter::bump(&self.meter.index_probes, 1);
+    }
+
+    fn bucket_of(&self, key: u64) -> usize {
+        (hash64(key) % self.buckets.len() as u64) as usize
+    }
+
+    fn maybe_grow(&mut self) {
+        if self.len < self.buckets.len() * 3 / 4 {
+            return;
+        }
+        let new_size = self.buckets.len() * 2;
+        let mut fresh: Vec<Vec<(u64, Tid)>> = vec![Vec::new(); new_size];
+        for bucket in self.buckets.drain(..) {
+            for (k, t) in bucket {
+                fresh[(hash64(k) % new_size as u64) as usize].push((k, t));
+            }
+        }
+        self.buckets = fresh;
+    }
+
+    /// Insert an entry.
+    pub fn insert(&mut self, key: u64, tid: Tid) {
+        self.clock.charge_nanos(self.clock.model().index_maintain);
+        self.maybe_grow();
+        let b = self.bucket_of(key);
+        self.buckets[b].push((key, tid));
+        self.len += 1;
+    }
+
+    /// All tids for `key`.
+    pub fn get(&self, key: u64) -> Vec<Tid> {
+        self.probe();
+        let b = self.bucket_of(key);
+        self.buckets[b]
+            .iter()
+            .filter(|(k, _)| *k == key)
+            .map(|&(_, t)| t)
+            .collect()
+    }
+
+    /// Remove one `(key, tid)` entry; returns whether present.
+    pub fn remove(&mut self, key: u64, tid: Tid) -> bool {
+        self.clock.charge_nanos(self.clock.model().index_maintain);
+        let b = self.bucket_of(key);
+        if let Some(pos) = self.buckets[b]
+            .iter()
+            .position(|&(k, t)| k == key && t == tid)
+        {
+            self.buckets[b].swap_remove(pos);
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the index has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Estimated bytes (Table 2 accounting).
+    pub fn size_bytes(&self) -> u64 {
+        (self.len * 16 + self.buckets.len() * 8) as u64
+    }
+
+    /// Drop all entries.
+    pub fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn mk() -> HashIndex {
+        HashIndex::new(SimClock::commodity(), Arc::new(Meter::new()))
+    }
+
+    fn tid(n: u32) -> Tid {
+        Tid { page: n, slot: 0 }
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut ix = mk();
+        ix.insert(10, tid(1));
+        ix.insert(20, tid(2));
+        assert_eq!(ix.get(10), vec![tid(1)]);
+        assert!(ix.remove(10, tid(1)));
+        assert!(ix.get(10).is_empty());
+        assert!(!ix.remove(10, tid(1)));
+        assert_eq!(ix.len(), 1);
+    }
+
+    #[test]
+    fn grows_beyond_initial_buckets() {
+        let mut ix = mk();
+        for i in 0..10_000u64 {
+            ix.insert(i, tid(i as u32));
+        }
+        assert_eq!(ix.len(), 10_000);
+        for i in (0..10_000u64).step_by(371) {
+            assert_eq!(ix.get(i), vec![tid(i as u32)]);
+        }
+    }
+
+    #[test]
+    fn duplicates_supported() {
+        let mut ix = mk();
+        ix.insert(5, tid(1));
+        ix.insert(5, tid(2));
+        let mut got = ix.get(5);
+        got.sort();
+        assert_eq!(got, vec![tid(1), tid(2)]);
+        assert!(ix.remove(5, tid(2)));
+        assert_eq!(ix.get(5), vec![tid(1)]);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut ix = mk();
+        for i in 0..100u64 {
+            ix.insert(i, tid(i as u32));
+        }
+        ix.clear();
+        assert!(ix.is_empty());
+        assert!(ix.get(5).is_empty());
+    }
+
+    #[test]
+    fn probes_metered() {
+        let clock = SimClock::commodity();
+        let meter = Arc::new(Meter::new());
+        let mut ix = HashIndex::new(clock, meter.clone());
+        ix.insert(1, tid(1));
+        let before = meter.snapshot().index_probes;
+        let _ = ix.get(1);
+        assert_eq!(meter.snapshot().index_probes, before + 1);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn matches_reference(
+            keys in proptest::collection::vec(0u64..100, 1..200)
+        ) {
+            let mut ix = mk();
+            let mut model: std::collections::HashMap<u64, Vec<Tid>> = Default::default();
+            for (i, &k) in keys.iter().enumerate() {
+                let t = tid(i as u32);
+                ix.insert(k, t);
+                model.entry(k).or_default().push(t);
+            }
+            for (k, want) in &model {
+                let mut got = ix.get(*k);
+                got.sort();
+                let mut want = want.clone();
+                want.sort();
+                proptest::prop_assert_eq!(got, want);
+            }
+        }
+    }
+}

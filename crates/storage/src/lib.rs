@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+//! # datacase-storage
+//!
+//! The storage substrates of the Data-CASE reproduction — everything the
+//! paper's evaluation ran on PostgreSQL and discusses for LSM/NoSQL
+//! engines, built from scratch:
+//!
+//! * [`page`] — 8 KiB slotted pages where DELETE leaves dead bytes behind;
+//! * [`tuple`](mod@tuple) — MVCC tuple encoding with the `HIDDEN` attribute that
+//!   grounds *reversible inaccessibility*;
+//! * [`txn`] — transaction ids, snapshots, visibility;
+//! * [`disk`] — the simulated drive, with optional LUKS-style sector
+//!   encryption and a *remanence* layer distinguishing strong from
+//!   permanent deletion;
+//! * [`buffer`] — LRU buffer pool;
+//! * [`btree`] / [`hashindex`] — real index structures whose dead-entry
+//!   probes are part of Figure 4a's cost story;
+//! * [`fsm`] — free-space map;
+//! * [`wal`] — write-ahead log (durability *and* retention hazard);
+//! * [`heap`] — the PostgreSQL-style engine: INSERT/SELECT/UPDATE/DELETE,
+//!   VACUUM, VACUUM FULL, hidden-attribute updates, crash recovery,
+//!   drive sanitisation;
+//! * [`lsm`] — memtable + SSTables + bloom filters + tombstones + tiered
+//!   compaction (the Cassandra-style engine from the paper's intro);
+//! * [`replica`] — copy-tracked replication (the intro's "track the
+//!   copies and delete all of them");
+//! * [`forensic`] — the independent residual scanner that makes Table 1's
+//!   property matrix *measurable*.
+
+pub mod btree;
+pub mod buffer;
+pub mod disk;
+pub mod error;
+pub mod forensic;
+pub mod fsm;
+pub mod hashindex;
+pub mod heap;
+pub mod lsm;
+pub mod page;
+pub mod replica;
+pub mod tuple;
+pub mod txn;
+pub mod wal;
+
+pub use error::{Result, StorageError};
+pub use forensic::{scan_heap, scan_lsm, ForensicFindings};
+pub use heap::{HeapConfig, HeapDb, HeapStats, VacuumStats};
+pub use lsm::{LsmConfig, LsmStats, LsmTree};
+pub use replica::ReplicatedHeap;
+pub use tuple::Tid;

@@ -1,0 +1,83 @@
+//! A Bloom filter for SSTable key membership.
+
+/// Fixed-k Bloom filter over u64 keys.
+#[derive(Clone, Debug)]
+pub struct Bloom {
+    bits: Vec<u64>,
+    nbits: usize,
+    k: u32,
+}
+
+fn mix(mut x: u64, salt: u64) -> u64 {
+    x ^= salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl Bloom {
+    /// A filter sized for `n` keys at ~10 bits/key, k=7 (≈1% FPR).
+    pub fn for_items(n: usize) -> Bloom {
+        let nbits = (n.max(1) * 10).next_power_of_two();
+        Bloom {
+            bits: vec![0u64; nbits / 64 + 1],
+            nbits,
+            k: 7,
+        }
+    }
+
+    /// Insert a key.
+    pub fn insert(&mut self, key: u64) {
+        for i in 0..self.k {
+            let bit = (mix(key, i as u64) as usize) % self.nbits;
+            self.bits[bit / 64] |= 1 << (bit % 64);
+        }
+    }
+
+    /// Possibly-contains check (no false negatives).
+    pub fn might_contain(&self, key: u64) -> bool {
+        (0..self.k).all(|i| {
+            let bit = (mix(key, i as u64) as usize) % self.nbits;
+            self.bits[bit / 64] & (1 << (bit % 64)) != 0
+        })
+    }
+
+    /// Filter size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut b = Bloom::for_items(1000);
+        for i in 0..1000u64 {
+            b.insert(i * 7);
+        }
+        for i in 0..1000u64 {
+            assert!(b.might_contain(i * 7));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_reasonable() {
+        let mut b = Bloom::for_items(1000);
+        for i in 0..1000u64 {
+            b.insert(i);
+        }
+        let fp = (1000u64..21000).filter(|&k| b.might_contain(k)).count();
+        let rate = fp as f64 / 20_000.0;
+        assert!(rate < 0.05, "FPR {rate}");
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing_much() {
+        let b = Bloom::for_items(10);
+        let hits = (0..1000u64).filter(|&k| b.might_contain(k)).count();
+        assert_eq!(hits, 0);
+    }
+}

@@ -1,0 +1,194 @@
+//! The LSM write buffer: an ordered in-memory map of the newest entries.
+
+use std::collections::BTreeMap;
+
+/// An LSM entry: a value version or a tombstone.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Entry {
+    /// A written value.
+    Put {
+        /// Monotone sequence number (newer wins).
+        seq: u64,
+        /// Data-CASE unit id.
+        unit_id: u64,
+        /// The payload.
+        value: Vec<u8>,
+    },
+    /// A delete marker.
+    Tombstone {
+        /// Monotone sequence number.
+        seq: u64,
+        /// Data-CASE unit id.
+        unit_id: u64,
+    },
+}
+
+impl Entry {
+    /// The entry's sequence number.
+    pub fn seq(&self) -> u64 {
+        match self {
+            Entry::Put { seq, .. } | Entry::Tombstone { seq, .. } => *seq,
+        }
+    }
+
+    /// The unit the entry belongs to.
+    pub fn unit_id(&self) -> u64 {
+        match self {
+            Entry::Put { unit_id, .. } | Entry::Tombstone { unit_id, .. } => *unit_id,
+        }
+    }
+
+    /// Approximate byte size.
+    pub fn size(&self) -> usize {
+        match self {
+            Entry::Put { value, .. } => 24 + value.len(),
+            Entry::Tombstone { .. } => 24,
+        }
+    }
+
+    /// Is this a tombstone?
+    pub fn is_tombstone(&self) -> bool {
+        matches!(self, Entry::Tombstone { .. })
+    }
+}
+
+/// The in-memory write buffer.
+#[derive(Clone, Debug, Default)]
+pub struct Memtable {
+    entries: BTreeMap<u64, Entry>,
+    bytes: usize,
+}
+
+impl Memtable {
+    /// An empty memtable.
+    pub fn new() -> Memtable {
+        Memtable::default()
+    }
+
+    /// Record a put.
+    pub fn put(&mut self, key: u64, seq: u64, unit_id: u64, value: Vec<u8>) {
+        let e = Entry::Put {
+            seq,
+            unit_id,
+            value,
+        };
+        self.bytes += e.size();
+        if let Some(old) = self.entries.insert(key, e) {
+            self.bytes -= old.size();
+        }
+    }
+
+    /// Record a tombstone.
+    pub fn delete(&mut self, key: u64, seq: u64, unit_id: u64) {
+        let e = Entry::Tombstone { seq, unit_id };
+        self.bytes += e.size();
+        if let Some(old) = self.entries.insert(key, e) {
+            self.bytes -= old.size();
+        }
+    }
+
+    /// Latest entry for `key`.
+    pub fn get(&self, key: u64) -> Option<&Entry> {
+        self.entries.get(&key)
+    }
+
+    /// Entries with `lo <= key <= hi`.
+    pub fn range(&self, lo: u64, hi: u64) -> impl Iterator<Item = (u64, &Entry)> {
+        self.entries.range(lo..=hi).map(|(k, e)| (*k, e))
+    }
+
+    /// Number of buffered entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Approximate buffered bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Take all entries (sorted by key) and reset.
+    pub fn drain(&mut self) -> Vec<(u64, Entry)> {
+        self.bytes = 0;
+        std::mem::take(&mut self.entries).into_iter().collect()
+    }
+
+    /// Forensic byte scan over buffered values.
+    pub fn scan_physical(&self, needle: &[u8]) -> usize {
+        if needle.is_empty() {
+            return 0;
+        }
+        self.entries
+            .values()
+            .filter(|e| match e {
+                Entry::Put { value, .. } => value.windows(needle.len()).any(|w| w == needle),
+                Entry::Tombstone { .. } => false,
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_overwrite() {
+        let mut m = Memtable::new();
+        m.put(1, 1, 100, b"a".to_vec());
+        m.put(1, 2, 100, b"bb".to_vec());
+        match m.get(1).unwrap() {
+            Entry::Put { seq, value, .. } => {
+                assert_eq!(*seq, 2);
+                assert_eq!(value, b"bb");
+            }
+            _ => panic!("expected put"),
+        }
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn tombstone_replaces_put() {
+        let mut m = Memtable::new();
+        m.put(1, 1, 100, b"x".to_vec());
+        m.delete(1, 2, 100);
+        assert!(m.get(1).unwrap().is_tombstone());
+    }
+
+    #[test]
+    fn bytes_accounting() {
+        let mut m = Memtable::new();
+        m.put(1, 1, 100, vec![0; 100]);
+        assert_eq!(m.bytes(), 124);
+        m.put(1, 2, 100, vec![0; 10]);
+        assert_eq!(m.bytes(), 34);
+        m.drain();
+        assert_eq!(m.bytes(), 0);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn drain_is_sorted() {
+        let mut m = Memtable::new();
+        m.put(5, 1, 0, vec![]);
+        m.put(1, 2, 0, vec![]);
+        m.put(3, 3, 0, vec![]);
+        let d = m.drain();
+        let keys: Vec<u64> = d.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn scan_physical_finds_values() {
+        let mut m = Memtable::new();
+        m.put(1, 1, 0, b"needle-in-mem".to_vec());
+        assert_eq!(m.scan_physical(b"needle"), 1);
+        assert_eq!(m.scan_physical(b"absent"), 0);
+        assert_eq!(m.scan_physical(b""), 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Immutable sorted runs (SSTables) with Bloom filters.
+
+use super::bloom::Bloom;
+use super::memtable::Entry;
+
+/// An immutable sorted run.
+#[derive(Clone, Debug)]
+pub struct SsTable {
+    entries: Vec<(u64, Entry)>,
+    bloom: Bloom,
+    bytes: u64,
+    tombstones: usize,
+}
+
+impl SsTable {
+    /// Build a run from key-sorted entries (as drained from a memtable).
+    pub fn build(entries: Vec<(u64, Entry)>) -> SsTable {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        let mut bloom = Bloom::for_items(entries.len());
+        let mut bytes = 0u64;
+        let mut tombstones = 0usize;
+        for (k, e) in &entries {
+            bloom.insert(*k);
+            bytes += e.size() as u64;
+            if e.is_tombstone() {
+                tombstones += 1;
+            }
+        }
+        SsTable {
+            entries,
+            bloom,
+            bytes,
+            tombstones,
+        }
+    }
+
+    /// Bloom-filter membership check.
+    pub fn might_contain(&self, key: u64) -> bool {
+        self.bloom.might_contain(key)
+    }
+
+    /// Entry for `key`, if present in this run.
+    pub fn get(&self, key: u64) -> Option<&Entry> {
+        self.entries
+            .binary_search_by_key(&key, |(k, _)| *k)
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Entries with `lo <= key <= hi`.
+    pub fn range(&self, lo: u64, hi: u64) -> impl Iterator<Item = (u64, &Entry)> {
+        let start = self.entries.partition_point(|(k, _)| *k < lo);
+        self.entries[start..]
+            .iter()
+            .take_while(move |(k, _)| *k <= hi)
+            .map(|(k, e)| (*k, e))
+    }
+
+    /// Number of entries (values + tombstones).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the run is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total payload bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Tombstone count.
+    pub fn tombstones(&self) -> usize {
+        self.tombstones
+    }
+
+    /// K-way merge of runs, newest entry per key surviving. When
+    /// `drop_tombstones` (merging into the last level), tombstones are
+    /// discarded once they have shadowed everything below.
+    pub fn merge(runs: &[SsTable], drop_tombstones: bool) -> SsTable {
+        use std::collections::BTreeMap;
+        let mut best: BTreeMap<u64, &Entry> = BTreeMap::new();
+        for run in runs {
+            for (k, e) in &run.entries {
+                match best.get(k) {
+                    Some(cur) if cur.seq() >= e.seq() => {}
+                    _ => {
+                        best.insert(*k, e);
+                    }
+                }
+            }
+        }
+        let merged: Vec<(u64, Entry)> = best
+            .into_iter()
+            .filter(|(_, e)| !(drop_tombstones && e.is_tombstone()))
+            .map(|(k, e)| (k, e.clone()))
+            .collect();
+        SsTable::build(merged)
+    }
+
+    /// Copy of this run without any entry belonging to `unit_id`; returns
+    /// the new run and the number of entries removed.
+    pub fn without_unit(&self, unit_id: u64) -> (SsTable, usize) {
+        let kept: Vec<(u64, Entry)> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.unit_id() != unit_id)
+            .cloned()
+            .collect();
+        let removed = self.entries.len() - kept.len();
+        (SsTable::build(kept), removed)
+    }
+
+    /// Forensic scan: how many entries' payloads contain `needle`.
+    pub fn scan_physical(&self, needle: &[u8]) -> usize {
+        if needle.is_empty() {
+            return 0;
+        }
+        self.entries
+            .iter()
+            .filter(|(_, e)| match e {
+                Entry::Put { value, .. } => value.windows(needle.len()).any(|w| w == needle),
+                Entry::Tombstone { .. } => false,
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn put(seq: u64, v: &[u8]) -> Entry {
+        Entry::Put {
+            seq,
+            unit_id: seq,
+            value: v.to_vec(),
+        }
+    }
+
+    fn ts(seq: u64) -> Entry {
+        Entry::Tombstone { seq, unit_id: seq }
+    }
+
+    #[test]
+    fn build_get_range() {
+        let run = SsTable::build(vec![
+            (1, put(1, b"a")),
+            (5, put(2, b"b")),
+            (9, put(3, b"c")),
+        ]);
+        assert!(run.get(5).is_some());
+        assert!(run.get(4).is_none());
+        let r: Vec<u64> = run.range(2, 8).map(|(k, _)| k).collect();
+        assert_eq!(r, vec![5]);
+        assert_eq!(run.len(), 3);
+    }
+
+    #[test]
+    fn bloom_no_false_negative() {
+        let run = SsTable::build((0..100u64).map(|k| (k, put(k, b"v"))).collect());
+        for k in 0..100u64 {
+            assert!(run.might_contain(k));
+        }
+    }
+
+    #[test]
+    fn merge_keeps_newest() {
+        let old = SsTable::build(vec![(1, put(1, b"old")), (2, put(2, b"keep"))]);
+        let new = SsTable::build(vec![(1, put(5, b"new"))]);
+        let merged = SsTable::merge(&[old, new], false);
+        match merged.get(1).unwrap() {
+            Entry::Put { value, .. } => assert_eq!(value, b"new"),
+            _ => panic!(),
+        }
+        assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn merge_drops_tombstones_at_last_level_only() {
+        let run = SsTable::build(vec![(1, ts(9)), (2, put(2, b"live"))]);
+        let kept = SsTable::merge(std::slice::from_ref(&run), false);
+        assert_eq!(kept.tombstones(), 1);
+        let dropped = SsTable::merge(&[run], true);
+        assert_eq!(dropped.tombstones(), 0);
+        assert_eq!(dropped.len(), 1);
+    }
+
+    #[test]
+    fn tombstone_shadows_older_put_in_merge() {
+        let old = SsTable::build(vec![(1, put(1, b"pii"))]);
+        let newer = SsTable::build(vec![(1, ts(5))]);
+        let merged = SsTable::merge(&[old, newer], true);
+        assert!(merged.get(1).is_none(), "put and tombstone both gone");
+        assert_eq!(merged.scan_physical(b"pii"), 0);
+    }
+
+    #[test]
+    fn without_unit_filters() {
+        let run = SsTable::build(vec![(1, put(100, b"a")), (2, put(200, b"b"))]);
+        let (clean, removed) = run.without_unit(100);
+        assert_eq!(removed, 1);
+        assert!(clean.get(1).is_none());
+        assert!(clean.get(2).is_some());
+    }
+
+    #[test]
+    fn scan_physical_counts_matches() {
+        let run = SsTable::build(vec![
+            (1, put(1, b"xxnedleyy")),
+            (2, put(2, b"needle-here")),
+            (3, ts(3)),
+        ]);
+        assert_eq!(run.scan_physical(b"needle"), 1);
+    }
+}

@@ -1,0 +1,203 @@
+//! Replicated storage with copy tracking.
+//!
+//! The paper's introduction: "If erasure means removing the data not just
+//! from the primary location, but removing it completely (from all
+//! locations in disk and memory), a technique will have to be built to
+//! track the copies and delete all of them." This module is that
+//! technique in miniature: a primary heap plus N replica heaps, a copy
+//! tracker recording where every key materialised, and erasure APIs that
+//! either hit only the primary (the naive, non-compliant behaviour) or
+//! chase every tracked copy.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use datacase_sim::{Meter, SimClock};
+
+use crate::error::Result;
+use crate::forensic::{scan_heap, ForensicFindings};
+use crate::heap::{HeapConfig, HeapDb};
+
+/// A primary heap with `n` full replicas and a copy tracker.
+pub struct ReplicatedHeap {
+    nodes: Vec<HeapDb>,
+    /// key → node indexes holding a copy (the tracked copies).
+    copies: HashMap<u64, Vec<usize>>,
+    clock: SimClock,
+}
+
+impl std::fmt::Debug for ReplicatedHeap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicatedHeap")
+            .field("nodes", &self.nodes.len())
+            .field("tracked_keys", &self.copies.len())
+            .finish()
+    }
+}
+
+impl ReplicatedHeap {
+    /// A cluster of `replicas + 1` nodes sharing one simulated clock (the
+    /// cluster completes when the slowest write completes).
+    pub fn new(replicas: usize, config: HeapConfig) -> ReplicatedHeap {
+        let clock = SimClock::commodity();
+        let meter = Arc::new(Meter::new());
+        let nodes = (0..=replicas)
+            .map(|_| HeapDb::new(config.clone(), clock.clone(), meter.clone()))
+            .collect();
+        ReplicatedHeap {
+            nodes,
+            copies: HashMap::new(),
+            clock,
+        }
+    }
+
+    /// Number of nodes (primary + replicas).
+    pub fn nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Replicated insert: the write lands on every node; the tracker
+    /// records each copy.
+    pub fn insert(&mut self, key: u64, unit_id: u64, payload: &[u8]) -> Result<()> {
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            node.insert(key, unit_id, payload)?;
+            self.copies.entry(key).or_default().push(i);
+        }
+        Ok(())
+    }
+
+    /// Read from the primary.
+    pub fn read(&mut self, key: u64) -> Option<Vec<u8>> {
+        self.nodes[0].read(key, false)
+    }
+
+    /// The **naive erase**: delete + vacuum on the primary only — what a
+    /// system unaware of its own replication does. Replica copies survive.
+    pub fn erase_primary_only(&mut self, key: u64) -> Result<()> {
+        self.nodes[0].delete(key)?;
+        self.nodes[0].vacuum();
+        Ok(())
+    }
+
+    /// The **tracked erase**: consult the copy tracker and erase every
+    /// copy on every node, then forget the key. This is "removing it
+    /// completely (from all locations)".
+    pub fn erase_all_copies(&mut self, key: u64) -> Result<usize> {
+        let holders = self.copies.remove(&key).unwrap_or_default();
+        let mut erased = 0;
+        let mut seen = std::collections::HashSet::new();
+        for i in holders {
+            if !seen.insert(i) {
+                continue;
+            }
+            if self.nodes[i].delete(key).is_ok() {
+                self.nodes[i].vacuum();
+                erased += 1;
+            }
+        }
+        Ok(erased)
+    }
+
+    /// Cluster-wide forensic scan: residuals anywhere on any node.
+    pub fn forensic(&mut self, needle: &[u8]) -> Vec<(usize, ForensicFindings)> {
+        let mut out = Vec::new();
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            node.checkpoint();
+            let f = scan_heap(node, needle);
+            if f.any() {
+                out.push((i, f));
+            }
+        }
+        out
+    }
+
+    /// How many nodes still hold a *readable* copy of `key`.
+    pub fn readable_copies(&mut self, key: u64) -> usize {
+        self.nodes
+            .iter_mut()
+            .filter_map(|n| n.read(key, false))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> ReplicatedHeap {
+        let mut r = ReplicatedHeap::new(2, HeapConfig::default());
+        r.insert(1, 100, b"REPLICATED-PII").unwrap();
+        r.insert(2, 200, b"other-record").unwrap();
+        r
+    }
+
+    #[test]
+    fn writes_reach_every_node() {
+        let mut r = cluster();
+        assert_eq!(r.nodes(), 3);
+        assert_eq!(r.readable_copies(1), 3);
+        assert_eq!(r.read(1).unwrap(), b"REPLICATED-PII");
+    }
+
+    #[test]
+    fn primary_only_erase_leaves_replica_copies() {
+        let mut r = cluster();
+        r.erase_primary_only(1).unwrap();
+        assert_eq!(r.read(1), None, "primary no longer serves it");
+        assert_eq!(
+            r.readable_copies(1),
+            2,
+            "replicas still hold readable copies — the intro's hazard"
+        );
+        let residuals = r.forensic(b"REPLICATED-PII");
+        assert!(
+            residuals.iter().any(|(node, _)| *node != 0),
+            "forensics finds the replica copies"
+        );
+    }
+
+    #[test]
+    fn tracked_erase_removes_every_copy() {
+        let mut r = cluster();
+        let erased = r.erase_all_copies(1).unwrap();
+        assert_eq!(erased, 3);
+        assert_eq!(r.readable_copies(1), 0);
+        // File-level residuals gone everywhere (WAL retention remains, as
+        // on a single node — that is the log hazard, not the copy hazard).
+        for (node, f) in r.forensic(b"REPLICATED-PII") {
+            assert!(
+                f.file_pages.is_empty(),
+                "node {node} still has page residuals: {}",
+                f.describe()
+            );
+        }
+        // Unrelated data is untouched.
+        assert_eq!(r.readable_copies(2), 3);
+    }
+
+    #[test]
+    fn tracked_erase_is_idempotent() {
+        let mut r = cluster();
+        assert_eq!(r.erase_all_copies(1).unwrap(), 3);
+        assert_eq!(r.erase_all_copies(1).unwrap(), 0, "tracker already empty");
+    }
+
+    #[test]
+    fn replication_costs_scale_with_nodes() {
+        let mut small = ReplicatedHeap::new(0, HeapConfig::default());
+        let t0 = small.clock().now();
+        small.insert(1, 1, &[7u8; 100]).unwrap();
+        let single = small.clock().now().since(t0);
+
+        let mut big = ReplicatedHeap::new(4, HeapConfig::default());
+        let t1 = big.clock().now();
+        big.insert(1, 1, &[7u8; 100]).unwrap();
+        let five = big.clock().now().since(t1);
+        assert!(five.0 > 4 * single.0, "5 nodes write ≥ 5x the work");
+    }
+}

@@ -1,0 +1,133 @@
+//! Transactions, snapshots and MVCC visibility.
+//!
+//! The workloads execute operations sequentially (one statement = one
+//! transaction, PostgreSQL autocommit style), so the manager is a simple
+//! monotone xid allocator: every xid below the current one is committed.
+//! Visibility still follows the real MVCC rule — a tuple version is
+//! visible to a snapshot iff it was created by a committed transaction
+//! before the snapshot and not deleted by one.
+
+use crate::tuple::TupleHeader;
+
+/// A snapshot: everything with xid < `horizon` is committed and visible.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Snapshot {
+    /// Exclusive upper bound of visible xids.
+    pub horizon: u64,
+}
+
+impl Snapshot {
+    /// Is the tuple version visible to this snapshot (ignoring flags)?
+    pub fn visible(&self, h: &TupleHeader) -> bool {
+        if h.xmin >= self.horizon {
+            return false; // created after the snapshot
+        }
+        if h.xmax != 0 && h.xmax < self.horizon {
+            return false; // deleted before the snapshot
+        }
+        true
+    }
+
+    /// Is the version *dead to everyone* at this horizon (vacuumable)?
+    pub fn dead_for_all(&self, h: &TupleHeader) -> bool {
+        h.xmax != 0 && h.xmax < self.horizon
+    }
+}
+
+/// Monotone transaction-id allocator.
+#[derive(Clone, Debug)]
+pub struct TxnManager {
+    next_xid: u64,
+}
+
+impl Default for TxnManager {
+    fn default() -> Self {
+        TxnManager::new()
+    }
+}
+
+impl TxnManager {
+    /// A manager starting at xid 1 (xid 0 is reserved for "never deleted").
+    pub fn new() -> TxnManager {
+        TxnManager { next_xid: 1 }
+    }
+
+    /// Begin a transaction, returning its xid.
+    pub fn begin(&mut self) -> u64 {
+        let xid = self.next_xid;
+        self.next_xid += 1;
+        xid
+    }
+
+    /// A snapshot seeing all transactions begun so far.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            horizon: self.next_xid,
+        }
+    }
+
+    /// The vacuum horizon: with sequential execution, everything allocated
+    /// so far is committed, so any version with `xmax < horizon` can go.
+    pub fn vacuum_horizon(&self) -> Snapshot {
+        self.snapshot()
+    }
+
+    /// The most recently allocated xid (0 if none yet).
+    pub fn current(&self) -> u64 {
+        self.next_xid - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hdr(xmin: u64, xmax: u64) -> TupleHeader {
+        TupleHeader {
+            xmin,
+            xmax,
+            unit_id: 0,
+            key: 0,
+            flags: 0,
+        }
+    }
+
+    #[test]
+    fn xids_are_monotone() {
+        let mut m = TxnManager::new();
+        let a = m.begin();
+        let b = m.begin();
+        assert!(b > a);
+        assert_eq!(m.current(), b);
+    }
+
+    #[test]
+    fn visibility_rules() {
+        let snap = Snapshot { horizon: 10 };
+        assert!(snap.visible(&hdr(5, 0)), "committed, live");
+        assert!(!snap.visible(&hdr(10, 0)), "created at/after horizon");
+        assert!(!snap.visible(&hdr(5, 8)), "deleted before horizon");
+        assert!(
+            snap.visible(&hdr(5, 12)),
+            "deleted after horizon: still visible to this snapshot"
+        );
+    }
+
+    #[test]
+    fn dead_for_all_matches_vacuum_rule() {
+        let snap = Snapshot { horizon: 10 };
+        assert!(snap.dead_for_all(&hdr(1, 5)));
+        assert!(!snap.dead_for_all(&hdr(1, 0)));
+        assert!(!snap.dead_for_all(&hdr(1, 15)));
+    }
+
+    #[test]
+    fn snapshot_advances_with_txns() {
+        let mut m = TxnManager::new();
+        let s1 = m.snapshot();
+        let x = m.begin();
+        let s2 = m.snapshot();
+        assert!(!s1.visible(&hdr(x, 0)), "txn began after snapshot 1");
+        assert!(s2.visible(&hdr(x, 0)), "snapshot 2 sees it");
+    }
+}

@@ -1,0 +1,138 @@
+//! The operation vocabulary executed by the engines.
+
+use datacase_core::purpose::PurposeId;
+
+use crate::record::GdprMetadata;
+
+/// Metadata fields GDPRBench updates ("updates to metadata").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetaField {
+    /// Time-to-live / retention deadline.
+    Ttl,
+    /// Processing purpose.
+    Purpose,
+    /// Objection to third-party sharing.
+    Objection,
+}
+
+/// Selectors for metadata-based reads (WPro's 20 %).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetaSelector {
+    /// All records collected for a purpose.
+    ByPurpose(PurposeId),
+    /// All records of one data-subject (subject-access request shape).
+    BySubject(u32),
+}
+
+/// One benchmark operation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Op {
+    /// Insert a new record with GDPR metadata.
+    Create {
+        /// Record key.
+        key: u64,
+        /// Personal-data payload (a Mall reading).
+        payload: Vec<u8>,
+        /// GDPR metadata attached at collection.
+        metadata: GdprMetadata,
+    },
+    /// Point read of the record's data by key.
+    ReadData {
+        /// Record key.
+        key: u64,
+    },
+    /// Update the record's data payload.
+    UpdateData {
+        /// Record key.
+        key: u64,
+        /// New payload.
+        payload: Vec<u8>,
+    },
+    /// Delete the record (the right-to-erasure path).
+    DeleteData {
+        /// Record key.
+        key: u64,
+    },
+    /// Read the record's metadata (policies, purpose, TTL).
+    ReadMeta {
+        /// Record key.
+        key: u64,
+    },
+    /// Update one metadata field.
+    UpdateMeta {
+        /// Record key.
+        key: u64,
+        /// Which field.
+        field: MetaField,
+    },
+    /// Read data *via* metadata (e.g. "all records for purpose X").
+    ReadByMetadata {
+        /// The selector.
+        selector: MetaSelector,
+    },
+}
+
+impl Op {
+    /// Short label for statistics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Op::Create { .. } => "create",
+            Op::ReadData { .. } => "read-data",
+            Op::UpdateData { .. } => "update-data",
+            Op::DeleteData { .. } => "delete-data",
+            Op::ReadMeta { .. } => "read-meta",
+            Op::UpdateMeta { .. } => "update-meta",
+            Op::ReadByMetadata { .. } => "read-by-meta",
+        }
+    }
+
+    /// The key the op targets, when key-addressed.
+    pub fn key(&self) -> Option<u64> {
+        match self {
+            Op::Create { key, .. }
+            | Op::ReadData { key }
+            | Op::UpdateData { key, .. }
+            | Op::DeleteData { key }
+            | Op::ReadMeta { key }
+            | Op::UpdateMeta { key, .. } => Some(*key),
+            Op::ReadByMetadata { .. } => None,
+        }
+    }
+}
+
+/// Distribution of op labels in a stream (for asserting mixes).
+pub fn label_histogram(ops: &[Op]) -> std::collections::HashMap<&'static str, usize> {
+    let mut h = std::collections::HashMap::new();
+    for op in ops {
+        *h.entry(op.label()).or_insert(0) += 1;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_keys() {
+        let op = Op::ReadData { key: 5 };
+        assert_eq!(op.label(), "read-data");
+        assert_eq!(op.key(), Some(5));
+        let scan = Op::ReadByMetadata {
+            selector: MetaSelector::BySubject(1),
+        };
+        assert_eq!(scan.key(), None);
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let ops = vec![
+            Op::ReadData { key: 1 },
+            Op::ReadData { key: 2 },
+            Op::DeleteData { key: 3 },
+        ];
+        let h = label_histogram(&ops);
+        assert_eq!(h["read-data"], 2);
+        assert_eq!(h["delete-data"], 1);
+    }
+}

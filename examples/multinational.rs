@@ -1,0 +1,111 @@
+//! Multinational compliance (paper §4.3): one system trace, three
+//! regulations, three different verdicts — the point of making the
+//! grounding explicit instead of baked-in.
+//!
+//! ```sh
+//! cargo run --release --example multinational
+//! ```
+
+use data_case::core::grounding::erasure::ErasureInterpretation;
+use data_case::core::regulation::Regulation;
+use data_case::engine::db::{Actor, CompliantDb};
+use data_case::engine::erasure::erase_now;
+use data_case::engine::profiles::EngineConfig;
+use data_case::workloads::opstream::Op;
+use data_case::workloads::record::GdprMetadata;
+
+fn main() {
+    let mut config = EngineConfig::p_sys();
+    config.tuple_encryption = None;
+    let mut db = CompliantDb::new(config);
+
+    // Collect a record whose retention deadline is short; then let the
+    // deadline pass and erase with plain deletion.
+    let metadata = GdprMetadata {
+        subject: 9,
+        purpose: data_case::core::purpose::well_known::billing(),
+        ttl: data_case::sim::time::Ts::from_secs(3600), // 1 simulated hour
+        origin_device: 1,
+        objects_to_sharing: true,
+    };
+    db.execute(
+        &Op::Create {
+            key: 1,
+            payload: b"billing-record-of-subject-9".to_vec(),
+            metadata,
+        },
+        Actor::Controller,
+    );
+
+    // Erase *before* the deadline with plain deletion.
+    assert!(erase_now(&mut db, 1, ErasureInterpretation::Deleted));
+    // Jump past the deadline plus every regulation's grace window.
+    db.clock()
+        .advance_to(data_case::sim::time::Ts::from_secs(60 * 24 * 3600));
+
+    let regulations = [
+        Regulation::gdpr(),
+        Regulation::gdpr_strict_member_state(),
+        Regulation::ccpa(),
+    ];
+    for reg in &regulations {
+        let report = db.compliance_report(reg);
+        println!(
+            "{:<28} min-erasure={:<24} verdict: {}",
+            reg.name,
+            reg.min_erasure.label(),
+            if report.is_compliant() {
+                "COMPLIANT"
+            } else {
+                "NON-COMPLIANT"
+            }
+        );
+        for v in report.violations.iter().take(2) {
+            println!("    {v}");
+        }
+    }
+
+    println!(
+        "\nThe same trace satisfies GDPR and CCPA (minimum grounding: delete)\n\
+         but fails the strict member state, which grounds erasure as STRONG\n\
+         deletion — plain deletion leaves identifying derived data eligible.\n\
+         Fixing it is a grounding decision, not a code rewrite: erase with\n\
+         StronglyDeleted instead."
+    );
+
+    // Do it right for the strict regime on a fresh engine.
+    let mut config2 = EngineConfig::p_sys();
+    config2.tuple_encryption = None;
+    let mut db2 = CompliantDb::new(config2);
+    let metadata2 = GdprMetadata {
+        subject: 9,
+        purpose: data_case::core::purpose::well_known::billing(),
+        ttl: data_case::sim::time::Ts::from_secs(3600),
+        origin_device: 1,
+        objects_to_sharing: true,
+    };
+    db2.execute(
+        &Op::Create {
+            key: 1,
+            payload: b"billing-record-of-subject-9".to_vec(),
+            metadata: metadata2,
+        },
+        Actor::Controller,
+    );
+    assert!(erase_now(
+        &mut db2,
+        1,
+        ErasureInterpretation::StronglyDeleted
+    ));
+    db2.clock()
+        .advance_to(data_case::sim::time::Ts::from_secs(60 * 24 * 3600));
+    let strict = db2.compliance_report(&Regulation::gdpr_strict_member_state());
+    println!(
+        "\nre-grounded erase as strong deletion → strict member state: {}",
+        if strict.is_compliant() {
+            "COMPLIANT"
+        } else {
+            "NON-COMPLIANT"
+        }
+    );
+}

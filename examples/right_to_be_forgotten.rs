@@ -1,0 +1,98 @@
+//! The right to be forgotten, under all four groundings of "erase".
+//!
+//! A subject requests erasure (GDPR Art. 17). The same request is executed
+//! under each interpretation on a fresh engine, and after each one the
+//! forensic scanner reports what a seized disk would still reveal —
+//! Table 1 and Figure 3, live.
+//!
+//! ```sh
+//! cargo run --release --example right_to_be_forgotten
+//! ```
+
+use data_case::core::grounding::erasure::ErasureInterpretation;
+use data_case::core::timeline::ErasureTimeline;
+use data_case::engine::db::{Actor, CompliantDb, OpResult};
+use data_case::engine::erasure::{erase_now, restore_now};
+use data_case::engine::profiles::EngineConfig;
+use data_case::workloads::opstream::Op;
+use data_case::workloads::record::GdprMetadata;
+
+const PAYLOAD: &[u8] = b"SUBJECT-42-LOCATION-TRACE-SENSITIVE";
+
+fn fresh_db() -> CompliantDb {
+    let mut config = EngineConfig::p_sys();
+    config.tuple_encryption = None; // keep bytes visible so forensics bite
+    let mut db = CompliantDb::new(config);
+    let metadata = GdprMetadata {
+        subject: 42,
+        purpose: data_case::core::purpose::well_known::smart_space(),
+        ttl: data_case::sim::time::Ts::from_secs(90 * 24 * 3600),
+        origin_device: 3,
+        objects_to_sharing: false,
+    };
+    let r = db.execute(
+        &Op::Create {
+            key: 1,
+            payload: PAYLOAD.to_vec(),
+            metadata,
+        },
+        Actor::Controller,
+    );
+    assert_eq!(r, OpResult::Done);
+    // A derived analytics mirror — identifying and invertible — so the
+    // illegal-inference property has something to find.
+    let unit = db.unit_of_key(1).expect("created");
+    let now = db.clock().now();
+    let derived = db.state_mut().derive(
+        &[unit],
+        "analytics-mirror",
+        true,
+        true,
+        data_case::core::value::Value::Bytes(PAYLOAD.to_vec()),
+        now,
+    );
+    db.heap_mut()
+        .insert(2, derived.0, PAYLOAD)
+        .expect("mirror insert");
+    db.bind_derived_key(derived, 2);
+    db
+}
+
+fn main() {
+    for interp in ErasureInterpretation::ALL {
+        let mut db = fresh_db();
+        println!("== erase as: {interp} ==");
+        assert!(erase_now(&mut db, 1, interp));
+
+        let read_back = db.execute(&Op::ReadData { key: 1 }, Actor::Processor);
+        let findings = db.forensic(PAYLOAD);
+        println!("   read-after-erase: {read_back:?}");
+        println!("   forensics: {}", findings.describe());
+        if interp == ErasureInterpretation::ReversiblyInaccessible {
+            let restored = restore_now(&mut db, 1);
+            println!("   restore attempt: {restored} (this grounding is invertible)");
+        } else {
+            let restored = restore_now(&mut db, 1);
+            println!("   restore attempt: {restored} (irreversible)");
+        }
+        println!();
+    }
+
+    // Figure 3: one unit staged through every interpretation over time.
+    let mut db = fresh_db();
+    let unit = db.unit_of_key(1).expect("created");
+    db.clock()
+        .advance_to(data_case::sim::time::Ts::from_secs(3600));
+    erase_now(&mut db, 1, ErasureInterpretation::ReversiblyInaccessible);
+    db.clock()
+        .advance_to(data_case::sim::time::Ts::from_secs(7200));
+    erase_now(&mut db, 1, ErasureInterpretation::Deleted);
+    db.clock()
+        .advance_to(data_case::sim::time::Ts::from_secs(9000));
+    erase_now(&mut db, 1, ErasureInterpretation::StronglyDeleted);
+    db.clock()
+        .advance_to(data_case::sim::time::Ts::from_secs(10800));
+    erase_now(&mut db, 1, ErasureInterpretation::PermanentlyDeleted);
+    let tl = ErasureTimeline::from_history(db.history(), unit);
+    println!("{}", tl.render());
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+//! # data-case
+//!
+//! Umbrella crate for the Data-CASE reproduction (EDBT 2024,
+//! arXiv:2308.07501): a formal framework for grounding data regulations
+//! (GDPR and friends) into system-level invariants, plus every substrate the
+//! paper's evaluation depends on — a PostgreSQL-style MVCC heap engine, an
+//! LSM engine with tombstones, RBAC / metadata-table / Sieve-style FGAC
+//! policy enforcement, audit logging, from-scratch AES/SHA-256, GDPRBench
+//! and YCSB workload generators, and the three compliance profiles
+//! (P_Base, P_GBench, P_SYS) the paper benchmarks.
+//!
+//! Each subsystem lives in its own crate; this crate re-exports them under
+//! short names so applications can depend on `data-case` alone:
+//!
+//! ```
+//! use data_case::prelude::*;
+//!
+//! let clock = SimClock::commodity();
+//! assert_eq!(clock.now(), Ts::ZERO);
+//! ```
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and
+//! `crates/bench` for the harness that regenerates every table and figure
+//! of the paper.
+
+pub use datacase_audit as audit;
+pub use datacase_core as core;
+pub use datacase_crypto as crypto;
+pub use datacase_engine as engine;
+pub use datacase_policy as policy;
+pub use datacase_sim as sim;
+pub use datacase_storage as storage;
+pub use datacase_workloads as workloads;
+
+/// Convenient glob-import surface for examples and quickstarts.
+pub mod prelude {
+    pub use datacase_sim::time::{Dur, Ts};
+    pub use datacase_sim::{CostModel, Meter, SimClock};
+}

@@ -1,0 +1,122 @@
+//! Cross-crate integration: the three compliance profiles end to end.
+
+use data_case::core::regulation::Regulation;
+use data_case::engine::db::{Actor, CompliantDb, OpResult};
+use data_case::engine::driver::run_ops;
+use data_case::engine::profiles::{EngineConfig, ProfileKind};
+use data_case::engine::space::SpaceReport;
+use data_case::workloads::gdprbench::{GdprBench, Mix};
+use data_case::workloads::opstream::Op;
+use data_case::workloads::ycsb::{Ycsb, YcsbWorkload};
+
+fn loaded(profile: ProfileKind, records: usize, seed: u64) -> (CompliantDb, GdprBench) {
+    let mut db = CompliantDb::new(EngineConfig::for_profile(profile));
+    let mut bench = GdprBench::new(seed, 100);
+    for op in bench.load_phase(records) {
+        assert_eq!(db.execute(&op, Actor::Controller), OpResult::Done);
+    }
+    (db, bench)
+}
+
+#[test]
+fn per_op_cost_ordering_holds_on_wcus() {
+    let mut sims = Vec::new();
+    for profile in ProfileKind::PAPER {
+        let (mut db, mut bench) = loaded(profile, 400, 7);
+        let ops = bench.ops(800, Mix::wcus());
+        let stats = run_ops(&mut db, &ops, Actor::Subject);
+        sims.push((profile, stats.simulated));
+    }
+    assert!(
+        sims[0].1 < sims[1].1 && sims[1].1 < sims[2].1,
+        "expected P_Base < P_GBench < P_SYS, got {sims:?}"
+    );
+}
+
+#[test]
+fn ycsb_c_runs_on_all_profiles_with_zero_denials() {
+    for profile in ProfileKind::PAPER {
+        let mut db = CompliantDb::new(EngineConfig::for_profile(profile));
+        let mut y = Ycsb::new(3, 300);
+        for op in y.load_phase() {
+            db.execute(&op, Actor::Controller);
+        }
+        let ops = y.ops(600, YcsbWorkload::C);
+        let stats = run_ops(&mut db, &ops, Actor::Processor);
+        assert_eq!(stats.denied, 0, "{profile:?}");
+        assert_eq!(stats.ops, 600);
+    }
+}
+
+#[test]
+fn all_profiles_stay_gdpr_compliant_under_wcus() {
+    for profile in ProfileKind::PAPER {
+        let (mut db, mut bench) = loaded(profile, 200, 11);
+        let ops = bench.ops(400, Mix::wcus());
+        run_ops(&mut db, &ops, Actor::Subject);
+        let report = db.compliance_report(&Regulation::gdpr());
+        assert!(
+            report.is_compliant(),
+            "{profile:?}: {:?}",
+            &report.violations[..report.violations.len().min(3)]
+        );
+    }
+}
+
+#[test]
+fn space_factors_ordered_and_psys_policy_heavy() {
+    let mut factors = Vec::new();
+    for profile in ProfileKind::PAPER {
+        let (db, _) = loaded(profile, 400, 23);
+        let r = SpaceReport::measure(&db);
+        factors.push((profile, r.space_factor(), r.policy_bytes));
+    }
+    assert!(factors[0].1 < factors[1].1, "{factors:?}");
+    assert!(factors[1].1 < factors[2].1, "{factors:?}");
+    assert!(
+        factors[2].2 > 10 * factors[0].2.max(1),
+        "Sieve metadata dominates"
+    );
+}
+
+#[test]
+fn wcon_controller_workload_executes_cleanly() {
+    let (mut db, mut bench) = loaded(ProfileKind::PGBench, 300, 31);
+    let ops = bench.ops(400, Mix::wcon());
+    let stats = run_ops(&mut db, &ops, Actor::Controller);
+    assert_eq!(stats.denied, 0, "controller ops should all be authorised");
+}
+
+#[test]
+fn wpro_metadata_scans_return_rows() {
+    let (mut db, mut bench) = loaded(ProfileKind::PBase, 500, 41);
+    let ops = bench.ops(300, Mix::wpro());
+    let mut rows_seen = 0usize;
+    for op in &ops {
+        if let Op::ReadByMetadata { .. } = op {
+            if let OpResult::Rows(n) = db.execute(op, Actor::Processor) {
+                rows_seen += n;
+            }
+        } else {
+            db.execute(op, Actor::Processor);
+        }
+    }
+    assert!(rows_seen > 0, "metadata-based reads must surface data");
+}
+
+#[test]
+fn sharded_driver_agrees_with_sequential_results() {
+    let config = EngineConfig::for_profile(ProfileKind::PBase);
+    let mut bench = GdprBench::new(53, 100);
+    let load = bench.load_phase(300);
+    let txns = bench.ops(300, Mix::wcus());
+    let stats = data_case::engine::driver::sharded_run(&config, &load, &txns, Actor::Subject, 3);
+    let total: usize = stats.iter().map(|s| s.ops).sum();
+    assert_eq!(total, 300);
+    for s in &stats {
+        assert_eq!(
+            s.denied + s.not_found + s.ops - s.denied - s.not_found,
+            s.ops
+        );
+    }
+}

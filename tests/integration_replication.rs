@@ -1,0 +1,61 @@
+//! The introduction's replication scenario end to end: Mall readings
+//! replicated across nodes; naive primary-only erasure violates the
+//! "remove it completely" interpretation, copy-tracked erasure satisfies it.
+
+use data_case::storage::heap::HeapConfig;
+use data_case::storage::replica::ReplicatedHeap;
+use data_case::workloads::record::{MallGenerator, MallReading};
+
+#[test]
+fn replicated_mall_readings_require_tracked_erasure() {
+    let mut cluster = ReplicatedHeap::new(2, HeapConfig::default());
+    let mut gen = MallGenerator::new(77, 50, 8);
+    let mut victim_key = None;
+    for key in 0..200u64 {
+        let (reading, _, payload) = gen.record();
+        cluster.insert(key, key, &payload).unwrap();
+        if victim_key.is_none() && reading.person == 7 {
+            victim_key = Some(key);
+        }
+    }
+    let victim_key = victim_key.expect("subject 7 appears in 200 readings");
+    let needle = MallReading::person_needle(7);
+
+    // Subject 7 asks for erasure; a replication-unaware system deletes on
+    // the primary only.
+    cluster.erase_primary_only(victim_key).unwrap();
+    assert_eq!(cluster.read(victim_key), None);
+    assert!(
+        cluster.readable_copies(victim_key) > 0,
+        "replica copies survive the naive erase — the intro's hazard"
+    );
+
+    // The copy tracker chases every remaining copy.
+    cluster.erase_all_copies(victim_key).unwrap();
+    assert_eq!(cluster.readable_copies(victim_key), 0);
+
+    // Note: the needle may still appear for *other* readings of subject 7
+    // (erasure was per-record). Verify the erased record's page bytes are
+    // gone by checking readable copies only; other records are unaffected.
+    let other_alive = (0..200u64)
+        .filter(|&k| k != victim_key)
+        .filter(|&k| cluster.readable_copies(k) == 3)
+        .count();
+    assert_eq!(other_alive, 199, "only the victim record was erased");
+    let _ = needle;
+}
+
+#[test]
+fn cluster_forensics_locates_every_node_holding_residuals() {
+    let mut cluster = ReplicatedHeap::new(3, HeapConfig::default());
+    cluster.insert(1, 1, b"CLUSTER-RESIDUAL-MARKER").unwrap();
+    let hits = cluster.forensic(b"CLUSTER-RESIDUAL-MARKER");
+    assert_eq!(hits.len(), 4, "all four nodes hold the bytes");
+    cluster.erase_all_copies(1).unwrap();
+    let after = cluster.forensic(b"CLUSTER-RESIDUAL-MARKER");
+    // Pages are vacuumed everywhere; what remains is WAL retention per
+    // node (the log hazard, handled by permanent-deletion plans).
+    for (_, f) in &after {
+        assert!(f.file_pages.is_empty(), "{}", f.describe());
+    }
+}

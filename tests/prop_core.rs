@@ -1,0 +1,132 @@
+//! Property-based tests over the Data-CASE model.
+
+use proptest::prelude::*;
+
+use data_case::core::action::Action;
+use data_case::core::grounding::erasure::ErasureInterpretation;
+use data_case::core::history::{ActionHistory, HistoryTuple};
+use data_case::core::ids::EntityId;
+use data_case::core::policy::{Policy, PolicySet};
+use data_case::core::purpose::PurposeId;
+use data_case::core::timeline::ErasureTimeline;
+use data_case::sim::time::Ts;
+
+fn interp_strategy() -> impl Strategy<Value = ErasureInterpretation> {
+    prop_oneof![
+        Just(ErasureInterpretation::ReversiblyInaccessible),
+        Just(ErasureInterpretation::Deleted),
+        Just(ErasureInterpretation::StronglyDeleted),
+        Just(ErasureInterpretation::PermanentlyDeleted),
+    ]
+}
+
+proptest! {
+    /// `P(t)` is exactly the set of granted, unexpired, unrevoked windows.
+    #[test]
+    fn active_policy_set_matches_window_algebra(
+        grants in proptest::collection::vec((0u64..100, 0u64..100, 0u32..4), 1..20),
+        revoke_at in proptest::option::of(0u64..120),
+        query in 0u64..140,
+    ) {
+        let e = EntityId(1);
+        let p = PurposeId::new("prop-core-purpose");
+        let mut set = PolicySet::new();
+        let mut windows = Vec::new();
+        for (a, b, _) in &grants {
+            let (from, until) = (Ts::from_secs(*a.min(b)), Ts::from_secs(*a.max(b)));
+            set.grant(Policy::new(p, e, from, until), Ts::ZERO);
+            windows.push((from, until));
+        }
+        if let Some(r) = revoke_at {
+            set.revoke(p, e, Ts::from_secs(r));
+        }
+        let q = Ts::from_secs(query);
+        // Reference semantics: a grant authorises at q iff its window
+        // covers q, and — if a revocation at r clipped it (i.e. the window
+        // covered r) — only for q strictly before r.
+        let expected = windows.iter().any(|(f, u)| {
+            if !q.within(*f, *u) {
+                return false;
+            }
+            match revoke_at {
+                Some(r) => {
+                    let r = Ts::from_secs(r);
+                    !r.within(*f, *u) || q < r
+                }
+                None => true,
+            }
+        });
+        prop_assert_eq!(set.authorises(p, e, q), expected);
+    }
+
+    /// Restrictiveness is a total order: for any two interpretations one
+    /// implies the other, and implication agrees with rank.
+    #[test]
+    fn erasure_lattice_total_order(a in interp_strategy(), b in interp_strategy()) {
+        prop_assert!(a.implies(b) || b.implies(a));
+        prop_assert_eq!(a.implies(b), a.rank() >= b.rank());
+    }
+
+    /// Timelines reconstructed from arbitrary erase sequences are always
+    /// monotone, and a stricter erase stamps all weaker stages.
+    #[test]
+    fn timelines_are_monotone(
+        stages in proptest::collection::vec((interp_strategy(), 1u64..1000), 1..8)
+    ) {
+        let unit = data_case::core::ids::UnitId(1);
+        let mut h = ActionHistory::new();
+        h.record(HistoryTuple {
+            unit,
+            purpose: data_case::core::purpose::well_known::contract(),
+            entity: EntityId(0),
+            action: Action::Create,
+            at: Ts::ZERO,
+        });
+        let mut t = 0u64;
+        for (interp, dt) in stages {
+            t += dt;
+            h.record(HistoryTuple {
+                unit,
+                purpose: data_case::core::purpose::well_known::compliance_erase(),
+                entity: EntityId(0),
+                action: Action::Erase(interp),
+                at: Ts::from_secs(t),
+            });
+        }
+        let tl = ErasureTimeline::from_history(&h, unit);
+        prop_assert!(tl.is_monotone());
+        if tl.permanently_deleted.is_some() {
+            prop_assert!(tl.strongly_deleted.is_some());
+            prop_assert!(tl.deleted.is_some());
+            prop_assert!(tl.reversibly_inaccessible.is_some());
+        }
+    }
+
+    /// Derived policy sets never grant more than every parent allows.
+    #[test]
+    fn derivation_restricts_policies(
+        parent_windows in proptest::collection::vec(
+            proptest::collection::vec((0u64..50, 50u64..100), 0..4), 1..4),
+        query in 0u64..120,
+    ) {
+        let e = EntityId(3);
+        let p = PurposeId::new("prop-derive-purpose");
+        let now = Ts::from_secs(60);
+        let sets: Vec<PolicySet> = parent_windows.iter().map(|ws| {
+            let mut s = PolicySet::new();
+            for (a, b) in ws {
+                s.grant(Policy::new(p, e, Ts::from_secs(*a), Ts::from_secs(*b)), Ts::ZERO);
+            }
+            s
+        }).collect();
+        let refs: Vec<&PolicySet> = sets.iter().collect();
+        let derived = PolicySet::restrict_for_derivation(&refs, now);
+        let q = Ts::from_secs(query);
+        if derived.authorises(p, e, q) {
+            for s in &sets {
+                prop_assert!(s.authorises(p, e, q),
+                    "derived policy must be within every parent's grants");
+            }
+        }
+    }
+}
