@@ -1,5 +1,6 @@
 //! Workload drivers: sequential runs (the paper's completion-time metric)
-//! and a sharded multi-client mode (crossbeam) for scalability ablations.
+//! and a sharded multi-client mode (scoped threads) for scalability
+//! ablations.
 
 use std::time::Instant;
 
@@ -89,28 +90,28 @@ pub fn sharded_run(
     for (i, op) in txns.iter().enumerate() {
         txn_parts[shard_of(op, i)].push(op.clone());
     }
-    let mut out: Vec<Option<RunStats>> = vec![None; shards];
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (shard, (load_ops, txn_ops)) in load_parts.into_iter().zip(txn_parts).enumerate() {
-            let cfg = config.clone();
-            handles.push((
-                shard,
-                scope.spawn(move |_| {
+    std::thread::scope(|scope| {
+        // Spawn every shard before joining any (collect is eager), then
+        // join in shard order so the result index is the shard index.
+        let handles: Vec<_> = load_parts
+            .into_iter()
+            .zip(txn_parts)
+            .map(|(load_ops, txn_ops)| {
+                let cfg = config.clone();
+                scope.spawn(move || {
                     let mut db = CompliantDb::new(cfg);
                     for op in &load_ops {
                         db.execute(op, Actor::Controller);
                     }
                     run_ops(&mut db, &txn_ops, actor)
-                }),
-            ));
-        }
-        for (shard, h) in handles {
-            out[shard] = Some(h.join().expect("shard thread panicked"));
-        }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard thread panicked"))
+            .collect()
     })
-    .expect("crossbeam scope");
-    out.into_iter().map(|s| s.expect("filled")).collect()
 }
 
 /// The aggregate completion time of a sharded run: the slowest shard.

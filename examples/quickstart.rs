@@ -5,11 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use data_case::core::regulation::Regulation;
-use data_case::engine::db::{Actor, CompliantDb, OpResult};
-use data_case::engine::profiles::EngineConfig;
-use data_case::workloads::opstream::Op;
-use data_case::workloads::record::GdprMetadata;
+use data_case::prelude::*;
 
 fn main() {
     // A P_Base-profile engine: RBAC + CSV response logging + AES-256 at

@@ -34,7 +34,18 @@ pub use datacase_storage as storage;
 pub use datacase_workloads as workloads;
 
 /// Convenient glob-import surface for examples and quickstarts.
+///
+/// Covers the simulation substrate plus everything an end-to-end scenario
+/// like `examples/quickstart.rs` needs: the engine frontend, its
+/// configuration profiles, the workload operation/record types, and the
+/// core regulation/grounding vocabulary.
 pub mod prelude {
+    pub use datacase_core::grounding::erasure::ErasureInterpretation;
+    pub use datacase_core::regulation::Regulation;
+    pub use datacase_engine::db::{Actor, CompliantDb, OpResult};
+    pub use datacase_engine::profiles::{DeleteStrategy, EngineConfig, ProfileKind};
     pub use datacase_sim::time::{Dur, Ts};
     pub use datacase_sim::{CostModel, Meter, SimClock};
+    pub use datacase_workloads::opstream::Op;
+    pub use datacase_workloads::record::GdprMetadata;
 }

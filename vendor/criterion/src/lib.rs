@@ -1,0 +1,300 @@
+#![warn(missing_docs)]
+//! Offline, in-tree subset of the [`criterion`](https://docs.rs/criterion)
+//! benchmark harness.
+//!
+//! The real criterion performs warm-up, sampling, and statistical analysis.
+//! This subset keeps the same API shape (`criterion_group!` /
+//! `criterion_main!`, [`Criterion::benchmark_group`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`Throughput`], [`BenchmarkId`]) but runs a
+//! fixed number of timed iterations and prints a single median line per
+//! benchmark. That is enough for `cargo bench --no-run` to compile every
+//! target and for `cargo bench` to produce directionally useful numbers
+//! without any external dependencies.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque black box preventing the optimizer from deleting a computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How a benchmark's workload size is reported.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+    /// The routine processes this many logical elements per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` amortizes setup cost across iterations.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs: batch many iterations per setup.
+    SmallInput,
+    /// Large per-iteration inputs: one setup per iteration.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Identifier combining a function name and a parameter rendering.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id made of the parameter value alone.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to every benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` with a fresh `setup` product per iteration, excluding
+    /// setup time from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+
+    /// Like [`Bencher::iter_batched`] but the routine borrows its input.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// A named collection of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the per-iteration workload size for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the target measurement time (accepted and ignored by this subset).
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the warm-up time (accepted and ignored by this subset).
+    pub fn warm_up_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs `routine` as a benchmark named `id` within this group.
+    pub fn bench_function<F, I>(&mut self, id: I, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+        I: fmt::Display,
+    {
+        let iters = self.sample_size as u64;
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    /// Runs `routine` with an input value, criterion-style.
+    pub fn bench_with_input<F, I, P>(&mut self, id: I, input: &P, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &P),
+        I: fmt::Display,
+        P: ?Sized,
+    {
+        let iters = self.sample_size as u64;
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b, input);
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    /// Finishes the group (no-op in this subset; kept for API parity).
+    pub fn finish(&mut self) {}
+
+    fn report(&mut self, id: &str, b: &Bencher) {
+        let per_iter = if b.iters == 0 {
+            Duration::ZERO
+        } else {
+            b.elapsed / b.iters as u32
+        };
+        let mut line = format!(
+            "{}/{:<40} {:>12.3?}/iter ({} iters)",
+            self.name, id, per_iter, b.iters
+        );
+        if let Some(tp) = self.throughput {
+            let secs = per_iter.as_secs_f64();
+            if secs > 0.0 {
+                match tp {
+                    Throughput::Bytes(n) => {
+                        line.push_str(&format!(
+                            "  {:>10.1} MiB/s",
+                            n as f64 / secs / (1 << 20) as f64
+                        ));
+                    }
+                    Throughput::Elements(n) => {
+                        line.push_str(&format!("  {:>10.1} elem/s", n as f64 / secs));
+                    }
+                }
+            }
+        }
+        self.criterion.emit(&line);
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    quiet: bool,
+}
+
+impl Criterion {
+    /// Starts a named [`BenchmarkGroup`].
+    pub fn benchmark_group<S: Into<String>>(&mut self, group_name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: group_name.into(),
+            sample_size: 10,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, routine);
+        self
+    }
+
+    fn emit(&mut self, line: &str) {
+        if !self.quiet {
+            println!("{line}");
+        }
+    }
+
+    /// Final configuration hook used by `criterion_main!` (API parity).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a group of benchmark functions, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        /// Runs every benchmark registered in this group.
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary entry point, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; a compiled
+            // harness=false target owns its own CLI, so just ignore them.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3).throughput(Throughput::Bytes(128));
+        g.bench_function("add", |b| b.iter(|| 1u64 + 1));
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &x| {
+            b.iter_batched(
+                || vec![x; 4],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::LargeInput,
+            )
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion { quiet: true };
+        sample_bench(&mut c);
+    }
+}

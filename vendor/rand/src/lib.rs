@@ -1,0 +1,235 @@
+#![warn(missing_docs)]
+//! Offline, in-tree subset of the [`rand`](https://docs.rs/rand) crate,
+//! mirroring the 0.9-era API surface this workspace uses:
+//!
+//! * [`SeedableRng::seed_from_u64`] / [`rngs::StdRng`] — deterministic
+//!   seeding for reproducible experiments;
+//! * [`Rng::random`] — uniform full-range sampling for primitive types;
+//! * [`Rng::random_range`] — uniform sampling from half-open and inclusive
+//!   integer ranges;
+//! * [`RngCore::fill_bytes`] — bulk byte generation.
+//!
+//! The generator behind [`rngs::StdRng`] is SplitMix64 — not cryptographic,
+//! but statistically adequate for workload generation, which is the only
+//! consumer in this workspace. Determinism per seed is the contract the
+//! tests rely on.
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core of a random number generator: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly distributed bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let last = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&last[..rem.len()]);
+        }
+    }
+}
+
+/// A random number generator that can be seeded deterministically.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose entire stream is determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly over their full value range.
+pub trait Standard: Sized {
+    /// Draws one value from `rng`, uniform over the type's domain.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+/// Types that support uniform sampling from a sub-range.
+pub trait SampleUniform: Copy + Sized {
+    /// Samples uniformly from `[low, high)`; panics if the range is empty.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Samples uniformly from `[low, high]`; panics if `low > high`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+/// Range-like arguments accepted by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range using `rng`.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: $t, high: $t) -> $t {
+                assert!(low < high, "cannot sample empty range {low}..{high}");
+                let span = (high as $wide).wrapping_sub(low as $wide);
+                // Multiply-shift bounded sampling (Lemire); the tiny modulo
+                // bias of the plain variant is irrelevant for workload
+                // generation and keeps the stub branch-free.
+                let v = (rng.next_u64() as u128 * span as u128) >> 64;
+                (low as $wide).wrapping_add(v as $wide) as $t
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: $t, high: $t) -> $t {
+                assert!(low <= high, "cannot sample empty range {low}..={high}");
+                let span = (high as $wide).wrapping_sub(low as $wide).wrapping_add(1);
+                if span == 0 {
+                    // Only reachable for full-domain 64-bit ranges.
+                    return <$t as Standard>::sample_standard(rng);
+                }
+                let v = (rng.next_u64() as u128 * span as u128) >> 64;
+                (low as $wide).wrapping_add(v as $wide) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int! {
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => u64, i16 => u64, i32 => u64, i64 => u64, isize => u64,
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Returns a value uniform over the full domain of `T`.
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Returns a value uniform over `range`.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        let x: f64 = self.random();
+        x < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generator implementations.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic generator of this subset: SplitMix64.
+    ///
+    /// Statistically solid for simulation workloads and fully determined by
+    /// its seed; **not** cryptographically secure (neither consumer in this
+    /// workspace needs that).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> StdRng {
+            StdRng { state }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let x = r.random_range(10u64..20);
+            assert!((10..20).contains(&x));
+            let y = r.random_range(1u8..=255);
+            assert!(y >= 1);
+            let z: usize = r.random_range(0..3usize);
+            assert!(z < 3);
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn dyn_rng_is_object_safe() {
+        let mut r = StdRng::seed_from_u64(3);
+        let dyn_rng: &mut dyn RngCore = &mut r;
+        let v = dyn_rng.random_range(0u32..100);
+        assert!(v < 100);
+    }
+}
