@@ -1,0 +1,37 @@
+//! Criterion bench for the storage-backend matrix: the GDPRBench customer
+//! mix over every (profile, backend, delete-strategy) cell, so the cost of
+//! running the same compliance profile on the heap vs the LSM tree is
+//! directly comparable per erasure grounding.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datacase_bench::figures::backend_cell;
+use datacase_engine::profiles::{DeleteStrategy, ProfileKind};
+use datacase_storage::backend::BackendKind;
+
+fn bench_backend_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend_matrix");
+    group.sample_size(10);
+    for profile in ProfileKind::PAPER {
+        for backend in BackendKind::ALL {
+            for strategy in DeleteStrategy::ALL {
+                let id = format!(
+                    "{}/{}/{}",
+                    profile.label(),
+                    backend.label(),
+                    strategy.label()
+                );
+                group.bench_with_input(
+                    BenchmarkId::from_parameter(id),
+                    &(profile, backend, strategy),
+                    |b, &(profile, backend, strategy)| {
+                        b.iter(|| backend_cell(profile, backend, strategy, 2_000, 500, 4242));
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backend_matrix);
+criterion_main!(benches);

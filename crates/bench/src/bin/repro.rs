@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //! ```text
-//! repro [--quick] [fig1|fig3|fig4a|fig4b|fig4c|table1|table2|invariants|ablations|checks|all]
+//! repro [--quick] [fig1|fig3|fig4a|fig4b|fig4c|table1|table2|backends|invariants|ablations|checks|all]
 //! ```
 //!
 //! `--quick` divides record/transaction counts by 10 (useful for smoke
@@ -51,6 +51,9 @@ fn main() {
     if want("table2") {
         let (table, _) = figures::table2(scale);
         println!("{}", table.render_text());
+    }
+    if want("backends") {
+        println!("{}", figures::backend_matrix(scale).render_text());
     }
     if want("invariants") {
         let (clean, dirty) = figures::invariants_demo();

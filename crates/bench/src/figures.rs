@@ -14,6 +14,7 @@ use datacase_engine::profiles::{DeleteStrategy, EngineConfig, ProfileKind};
 use datacase_engine::space::SpaceReport;
 use datacase_sim::report::{f3, Table};
 use datacase_sim::time::Dur;
+use datacase_storage::backend::BackendKind;
 use datacase_workloads::gdprbench::{GdprBench, Mix};
 use datacase_workloads::opstream::Op;
 use datacase_workloads::ycsb::{Ycsb, YcsbWorkload};
@@ -287,6 +288,70 @@ pub fn fig4c(scale: Scale) -> (Table, Vec<(BenchWorkload, ProfileKind, Vec<Serie
         }
     }
     (table, raw)
+}
+
+// ---------------------------------------------------------------------
+// Backend matrix — the same GDPRBench mix over every point of the
+// ProfileKind × BackendKind × DeleteStrategy space.
+// ---------------------------------------------------------------------
+
+/// Run one (profile, backend, delete-strategy) cell on the GDPRBench
+/// customer mix: load `records`, then `txns` WCus transactions.
+pub fn backend_cell(
+    profile: ProfileKind,
+    backend: BackendKind,
+    strategy: DeleteStrategy,
+    records: u64,
+    txns: u64,
+    seed: u64,
+) -> RunStats {
+    let mut config = EngineConfig::for_profile(profile).with_backend(backend);
+    config.delete_strategy = strategy;
+    config.maintenance_every = (txns / 35).max(20);
+    config.heap.buffer_pages = buffer_pages_for(records);
+    let mut db = CompliantDb::new(config);
+    let mut bench = GdprBench::new(seed, 1000);
+    for op in &bench.load_phase(records as usize) {
+        db.execute(op, Actor::Controller);
+    }
+    let ops = bench.ops(txns as usize, Mix::wcus());
+    run_ops(&mut db, &ops, Actor::Subject)
+}
+
+/// The backend matrix: one row per (profile, backend, delete-strategy)
+/// cell — completion time plus the run's denial/not-found profile, so
+/// backend parity (identical enforcement behaviour, different storage
+/// cost) is visible in one table.
+pub fn backend_matrix(scale: Scale) -> Table {
+    let records = scale.div(20_000);
+    let txns = scale.div(5_000);
+    let mut table = Table::new(
+        format!("Backend matrix — WCus over profile × backend × delete strategy (records={records}, txns={txns})"),
+        &[
+            "profile",
+            "backend",
+            "delete strategy",
+            "completion (sim s)",
+            "denied",
+            "not-found",
+        ],
+    );
+    for profile in ProfileKind::PAPER {
+        for backend in BackendKind::ALL {
+            for strategy in DeleteStrategy::ALL {
+                let stats = backend_cell(profile, backend, strategy, records, txns, 4242);
+                table.row(vec![
+                    profile.label().into(),
+                    backend.label().into(),
+                    strategy.label().into(),
+                    f3(stats.simulated.as_secs_f64()),
+                    stats.denied.to_string(),
+                    stats.not_found.to_string(),
+                ]);
+            }
+        }
+    }
+    table
 }
 
 // ---------------------------------------------------------------------

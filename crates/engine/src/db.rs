@@ -27,8 +27,11 @@ use datacase_policy::metatable::MetaTableEnforcer;
 use datacase_policy::rbac::{RbacEnforcer, Role};
 use datacase_sim::time::Ts;
 use datacase_sim::{Meter, SimClock};
-use datacase_storage::forensic::{scan_heap, ForensicFindings};
-use datacase_storage::heap::{HeapDb, HeapStats};
+use datacase_storage::backend::{
+    BackendKind, BackendStats, LsmBackend, MaintenanceDepth, StorageBackend,
+};
+use datacase_storage::forensic::ForensicFindings;
+use datacase_storage::heap::HeapDb;
 use datacase_workloads::opstream::{MetaField, MetaSelector, Op};
 
 use crate::profiles::{DeleteStrategy, EngineConfig, ProfileKind};
@@ -69,9 +72,13 @@ struct KeyMeta {
 }
 
 /// The compliant database engine.
+///
+/// The compliance stack (enforcement, logging, crypto, the abstract
+/// Data-CASE model) composes over any [`StorageBackend`]; the substrate is
+/// chosen by [`EngineConfig::backend`](crate::profiles::EngineConfig).
 pub struct CompliantDb {
     config: EngineConfig,
-    heap: HeapDb,
+    backend: Box<dyn StorageBackend>,
     enforcer: Box<dyn PolicyEnforcer>,
     logger: Box<dyn AuditLogger>,
     vault: Option<KeyVault>,
@@ -160,11 +167,23 @@ impl CompliantDb {
             .tuple_encryption
             .map(|size| KeyVault::new(b"engine-master-secret", size));
 
-        let heap = HeapDb::new(config.heap.clone(), clock.clone(), meter.clone());
+        // The only place a concrete substrate type appears: construction.
+        let backend: Box<dyn StorageBackend> = match config.backend {
+            BackendKind::Heap => Box::new(HeapDb::new(
+                config.heap.clone(),
+                clock.clone(),
+                meter.clone(),
+            )),
+            BackendKind::Lsm => Box::new(LsmBackend::new(
+                config.lsm.clone(),
+                clock.clone(),
+                meter.clone(),
+            )),
+        };
 
         let mut db = CompliantDb {
             config,
-            heap,
+            backend,
             enforcer,
             logger,
             vault,
@@ -393,8 +412,8 @@ impl CompliantDb {
         self.ops_since_checkpoint += 1;
         if self.ops_since_checkpoint >= self.config.checkpoint_every {
             self.ops_since_checkpoint = 0;
-            self.heap.checkpoint();
-            self.heap.recycle_wal();
+            self.backend.checkpoint();
+            self.backend.recycle_logs();
         }
         match op {
             Op::Create {
@@ -446,8 +465,7 @@ impl CompliantDb {
             for p in &base_policies {
                 u.policies.grant(*p, now);
             }
-            u.encrypted_at_rest = self.config.tuple_encryption.is_some()
-                || self.config.heap.disk_passphrase.is_some();
+            u.encrypted_at_rest = self.config.encryption_at_rest();
         }
         // The enforcer sees base policies plus profile-dependent padding
         // (finer-grained slicing in P_SYS — Sieve metadata volume).
@@ -464,7 +482,7 @@ impl CompliantDb {
         self.enforcer.register_unit(unit, &enforcer_policies);
         // Physical insert (encrypted per profile).
         let stored = self.encrypt_payload(unit, payload);
-        if self.heap.insert(key, unit.0, &stored).is_err() {
+        if self.backend.insert(key, unit.0, &stored).is_err() {
             return OpResult::NotFound;
         }
         // Bookkeeping.
@@ -516,7 +534,7 @@ impl CompliantDb {
         if !self.check(meta.unit, entity, purpose, ActionKind::Read) {
             return OpResult::Denied;
         }
-        let Some(stored) = self.heap.read(key, false) else {
+        let Some(stored) = self.backend.read(key, false) else {
             return OpResult::NotFound;
         };
         let plain = self.decrypt_payload(meta.unit, stored);
@@ -544,7 +562,7 @@ impl CompliantDb {
             return OpResult::Denied;
         }
         let stored = self.encrypt_payload(meta.unit, payload);
-        if self.heap.update(key, &stored).is_err() {
+        if self.backend.update(key, &stored).is_err() {
             return OpResult::NotFound;
         }
         let now = self.clock.now();
@@ -573,11 +591,11 @@ impl CompliantDb {
         let (interp, ok) = match self.config.delete_strategy {
             DeleteStrategy::TombstoneAttribute => (
                 ErasureInterpretation::ReversiblyInaccessible,
-                self.heap.set_hidden(key, true).is_ok(),
+                self.backend.set_hidden(key, true).is_ok(),
             ),
             _ => (
                 ErasureInterpretation::Deleted,
-                self.heap.delete(key).is_ok(),
+                self.backend.delete(key).is_ok(),
             ),
         };
         if !ok {
@@ -629,15 +647,17 @@ impl CompliantDb {
         OpResult::Done
     }
 
-    /// Run the delete strategy's periodic maintenance now.
+    /// Run the delete strategy's periodic maintenance now, mapped to the
+    /// backend's mechanics (heap: VACUUM / VACUUM FULL; LSM: flush /
+    /// full compaction).
     pub fn run_maintenance(&mut self) {
         self.deletes_since_maintenance = 0;
         match self.config.delete_strategy {
             DeleteStrategy::DeleteVacuum => {
-                self.heap.vacuum();
+                self.backend.maintain(MaintenanceDepth::Lazy);
             }
             DeleteStrategy::DeleteVacuumFull => {
-                self.heap.vacuum_full();
+                self.backend.maintain(MaintenanceDepth::Full);
             }
             DeleteStrategy::DeleteOnly | DeleteStrategy::TombstoneAttribute => {}
         }
@@ -789,7 +809,7 @@ impl CompliantDb {
             if !self.check(meta.unit, self.processor, meta.purpose, ActionKind::Read) {
                 continue;
             }
-            if let Some(stored) = self.heap.read(key, false) {
+            if let Some(stored) = self.backend.read(key, false) {
                 let plain = self.decrypt_payload(meta.unit, stored);
                 self.history.record(HistoryTuple {
                     unit: meta.unit,
@@ -882,19 +902,19 @@ impl CompliantDb {
         self.unit_key.get(&unit).copied()
     }
 
-    /// Heap statistics.
-    pub fn heap_stats(&self) -> HeapStats {
-        self.heap.stats()
+    /// Backend statistics on the substrate-independent vocabulary.
+    pub fn backend_stats(&self) -> BackendStats {
+        self.backend.stats()
     }
 
-    /// Direct heap access (erasure executor, benches).
-    pub fn heap_mut(&mut self) -> &mut HeapDb {
-        &mut self.heap
+    /// Direct backend access (erasure executor, benches).
+    pub fn backend_mut(&mut self) -> &mut dyn StorageBackend {
+        self.backend.as_mut()
     }
 
-    /// Direct heap access (read-only).
-    pub fn heap(&self) -> &HeapDb {
-        &self.heap
+    /// Direct backend access (read-only).
+    pub fn backend(&self) -> &dyn StorageBackend {
+        self.backend.as_ref()
     }
 
     /// The policy enforcer.
@@ -943,10 +963,11 @@ impl CompliantDb {
     }
 
     /// Forensic scan of all persistent layers for `needle` (checkpoints
-    /// the heap first so the scan sees buffered state).
+    /// the backend first so the scan sees buffered state — flushed pages
+    /// on the heap, a flushed memtable on the LSM).
     pub fn forensic(&mut self, needle: &[u8]) -> ForensicFindings {
-        self.heap.checkpoint();
-        let mut findings = scan_heap(&self.heap, needle);
+        self.backend.checkpoint();
+        let mut findings = self.backend.scan_physical(needle);
         // The audit logs are a persistence layer too.
         let log_hits = self.logger.scan(needle);
         if log_hits > 0 {
@@ -962,8 +983,7 @@ impl CompliantDb {
     pub fn compliance_report(&mut self, regulation: &Regulation) -> ComplianceReport {
         let evidence = EvidenceFlags {
             audit_log_tamper_evident: self.logger.verify_chain(),
-            encryption_at_rest_default: self.config.tuple_encryption.is_some()
-                || self.config.heap.disk_passphrase.is_some(),
+            encryption_at_rest_default: self.config.encryption_at_rest(),
         };
         ComplianceChecker::new(regulation.clone())
             .with_evidence(evidence)
@@ -1135,12 +1155,62 @@ mod tests {
         }
         // Grab the payload of key 4 for the needle.
         let needle = {
-            let stored = db.heap_mut().read(4, true).unwrap();
+            let stored = db.backend_mut().read(4, true).unwrap();
             stored[..20].to_vec()
         };
         db.execute(&Op::DeleteData { key: 4 }, Actor::Controller);
         let f = db.forensic(&needle);
         assert!(f.online(), "DELETE leaves residuals: {}", f.describe());
+    }
+
+    #[test]
+    fn lsm_backend_roundtrips_all_profiles() {
+        for profile in [
+            ProfileKind::Stock,
+            ProfileKind::PBase,
+            ProfileKind::PGBench,
+            ProfileKind::PSys,
+        ] {
+            let mut config = EngineConfig::for_profile(profile).with_backend(BackendKind::Lsm);
+            config.maintenance_every = 50;
+            let mut db = CompliantDb::new(config);
+            let mut bench = GdprBench::new(42, 50);
+            load(&mut db, &mut bench, 100);
+            let r = db.execute(&Op::ReadData { key: 5 }, Actor::Processor);
+            assert!(
+                matches!(r, OpResult::Value(n) if n == 100),
+                "{profile:?}/lsm: {r:?}"
+            );
+            assert_eq!(
+                db.execute(&Op::DeleteData { key: 5 }, Actor::Subject),
+                OpResult::Done
+            );
+            let r = db.execute(&Op::ReadData { key: 5 }, Actor::Processor);
+            assert!(
+                matches!(r, OpResult::NotFound | OpResult::Denied),
+                "{profile:?}/lsm post-delete: {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn lsm_backend_tombstone_strategy_is_reversibly_hidden() {
+        let mut config =
+            EngineConfig::stock(DeleteStrategy::TombstoneAttribute).with_backend(BackendKind::Lsm);
+        config.maintenance_every = u64::MAX;
+        let mut db = CompliantDb::new(config);
+        let mut bench = GdprBench::new(8, 20);
+        load(&mut db, &mut bench, 10);
+        assert_eq!(
+            db.execute(&Op::DeleteData { key: 3 }, Actor::Controller),
+            OpResult::Done
+        );
+        assert_eq!(
+            db.execute(&Op::ReadData { key: 3 }, Actor::Processor),
+            OpResult::NotFound
+        );
+        // The hidden version is still there for the controller view.
+        assert!(db.backend_mut().read(3, true).is_some());
     }
 
     #[test]

@@ -2,10 +2,11 @@
 //! and a sharded multi-client mode (scoped threads) for scalability
 //! ablations.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use datacase_sim::time::Dur;
-use datacase_sim::MeterSnapshot;
+use datacase_sim::{Meter, MeterSnapshot, SimClock};
 use datacase_workloads::opstream::Op;
 
 use crate::db::{Actor, CompliantDb, OpResult};
@@ -64,18 +65,46 @@ pub fn run_ops(db: &mut CompliantDb, ops: &[Op], actor: Actor) -> RunStats {
     }
 }
 
+/// Results of a sharded run: per-shard stats plus the work counters
+/// aggregated over every shard (the shards share one [`Meter`]).
+#[derive(Clone, Debug, Default)]
+pub struct ShardedRun {
+    /// One entry per shard, in shard order. Each shard's `work` field is
+    /// its own diff of the *shared* meter, so concurrent shards may see
+    /// each other's counts there; `work` below is authoritative.
+    pub shards: Vec<RunStats>,
+    /// Work counters accumulated across all shards, load phase included.
+    pub work: MeterSnapshot,
+}
+
+impl ShardedRun {
+    /// The aggregate completion time: the slowest shard (the end barrier
+    /// of a multi-client run).
+    pub fn completion(&self) -> Dur {
+        sharded_completion(&self.shards)
+    }
+
+    /// Total operations executed across shards (transaction phase).
+    pub fn total_ops(&self) -> usize {
+        self.shards.iter().map(|s| s.ops).sum()
+    }
+}
+
 /// Sharded multi-client run: keys are hash-partitioned over `shards`
 /// independent engine instances executing in parallel threads; completion
 /// time is the slowest shard's simulated time (a barrier at the end, as in
-/// multi-client YCSB runs).
+/// multi-client YCSB runs). Every shard is built through
+/// [`CompliantDb::with_clock`] on its own clock but one shared [`Meter`],
+/// so the run's total work is aggregated in [`ShardedRun::work`].
 pub fn sharded_run(
     config: &EngineConfig,
     load: &[Op],
     txns: &[Op],
     actor: Actor,
     shards: usize,
-) -> Vec<RunStats> {
+) -> ShardedRun {
     assert!(shards > 0);
+    let meter = Arc::new(Meter::new());
     let shard_of = |op: &Op, i: usize| -> usize {
         match op.key() {
             Some(k) => (k % shards as u64) as usize,
@@ -90,7 +119,7 @@ pub fn sharded_run(
     for (i, op) in txns.iter().enumerate() {
         txn_parts[shard_of(op, i)].push(op.clone());
     }
-    std::thread::scope(|scope| {
+    let shard_stats: Vec<RunStats> = std::thread::scope(|scope| {
         // Spawn every shard before joining any (collect is eager), then
         // join in shard order so the result index is the shard index.
         let handles: Vec<_> = load_parts
@@ -98,8 +127,11 @@ pub fn sharded_run(
             .zip(txn_parts)
             .map(|(load_ops, txn_ops)| {
                 let cfg = config.clone();
+                let shard_meter = meter.clone();
                 scope.spawn(move || {
-                    let mut db = CompliantDb::new(cfg);
+                    // Own clock (shards progress independently), shared
+                    // meter (work aggregates across the fleet).
+                    let mut db = CompliantDb::with_clock(cfg, SimClock::commodity(), shard_meter);
                     for op in &load_ops {
                         db.execute(op, Actor::Controller);
                     }
@@ -111,7 +143,11 @@ pub fn sharded_run(
             .into_iter()
             .map(|h| h.join().expect("shard thread panicked"))
             .collect()
-    })
+    });
+    ShardedRun {
+        shards: shard_stats,
+        work: meter.snapshot(),
+    }
 }
 
 /// The aggregate completion time of a sharded run: the slowest shard.
@@ -144,11 +180,27 @@ mod tests {
         let mut bench = GdprBench::new(2, 50);
         let load = bench.load_phase(200);
         let txns = bench.ops(200, Mix::wcus());
-        let stats = sharded_run(&config, &load, &txns, Actor::Subject, 4);
-        assert_eq!(stats.len(), 4);
-        let total_ops: usize = stats.iter().map(|s| s.ops).sum();
-        assert_eq!(total_ops, 200);
-        assert!(sharded_completion(&stats) > Dur::ZERO);
+        let run = sharded_run(&config, &load, &txns, Actor::Subject, 4);
+        assert_eq!(run.shards.len(), 4);
+        assert_eq!(run.total_ops(), 200);
+        assert!(run.completion() > Dur::ZERO);
+    }
+
+    #[test]
+    fn sharded_run_aggregates_work_over_shared_meter() {
+        let config = EngineConfig::for_profile(ProfileKind::PBase);
+        let mut bench = GdprBench::new(5, 50);
+        let load = bench.load_phase(200);
+        let txns = bench.ops(100, Mix::wcus());
+        let run = sharded_run(&config, &load, &txns, Actor::Subject, 4);
+        // Every load op logs at least one audit record; the aggregate
+        // snapshot must see all shards' work, not one shard's.
+        assert!(
+            run.work.log_records >= 200,
+            "aggregate log records: {}",
+            run.work.log_records
+        );
+        assert!(run.work.tuples_scanned > 0);
     }
 
     #[test]
@@ -160,10 +212,10 @@ mod tests {
         let seq = sharded_run(&config, &load, &txns, Actor::Subject, 1);
         let par = sharded_run(&config, &load, &txns, Actor::Subject, 4);
         assert!(
-            sharded_completion(&par) < sharded_completion(&seq),
+            par.completion() < seq.completion(),
             "4 shards {:?} vs 1 shard {:?}",
-            sharded_completion(&par),
-            sharded_completion(&seq)
+            par.completion(),
+            seq.completion()
         );
     }
 }

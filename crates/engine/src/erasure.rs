@@ -3,10 +3,12 @@
 //! path's periodic maintenance).
 //!
 //! This is step ③ of Figure 2 made concrete: each
-//! [`ErasureInterpretation`] maps to the heap plan of Table 1 (or the LSM
-//! plan for the Cassandra-style backend), and after execution the
-//! [`probe`] verifies the IR / II / Inv properties *empirically* against
-//! the forensic scanner and the provenance graph.
+//! [`ErasureInterpretation`] maps to a [`StorageBackend`] plan of Table 1
+//! — heap mechanics (hide / DELETE+VACUUM / VACUUM FULL / WAL scrub +
+//! sanitise) or LSM mechanics (flagged version / tombstone+flush /
+//! compaction / run purge) — and after execution the [`probe`] verifies
+//! the IR / II / Inv properties *empirically* against the forensic
+//! scanner and the provenance graph, on either backend.
 
 use datacase_core::action::Action;
 use datacase_core::grounding::erasure::ErasureInterpretation;
@@ -15,6 +17,7 @@ use datacase_core::history::HistoryTuple;
 use datacase_core::ids::UnitId;
 use datacase_core::purpose::well_known as wk;
 use datacase_core::unit::ErasureStatus;
+use datacase_storage::backend::{BackendKind, MaintenanceDepth};
 use datacase_storage::lsm::LsmTree;
 
 use crate::db::CompliantDb;
@@ -40,7 +43,7 @@ pub fn erase_now(db: &mut CompliantDb, key: u64, interp: ErasureInterpretation) 
         descendants = db.state().provenance().identifying_descendants(unit);
         for &d in &descendants {
             if let Some(dkey) = db.key_of_unit(d) {
-                let _ = db.heap_mut().delete(dkey);
+                let _ = db.backend_mut().delete(dkey);
             }
             let at = db.clock().now();
             let already = db
@@ -65,17 +68,16 @@ pub fn erase_now(db: &mut CompliantDb, key: u64, interp: ErasureInterpretation) 
     let remove_row = |db: &mut CompliantDb| -> bool {
         if already_rank >= 2 {
             true // the row is already physically gone or dead
-        } else if already_rank == 1 {
-            // Reversibly-inaccessible row still exists: delete it now.
-            db.heap_mut().delete(key).is_ok()
         } else {
-            db.heap_mut().delete(key).is_ok()
+            // A reversibly-inaccessible (rank 1) row still exists on the
+            // backend; delete it like a live one.
+            db.backend_mut().delete(key).is_ok()
         }
     };
 
     let status = match interp {
         ErasureInterpretation::ReversiblyInaccessible => {
-            if db.heap_mut().set_hidden(key, true).is_err() {
+            if db.backend_mut().set_hidden(key, true).is_err() {
                 return false;
             }
             ErasureStatus::ReversiblyInaccessible { since: now }
@@ -84,30 +86,31 @@ pub fn erase_now(db: &mut CompliantDb, key: u64, interp: ErasureInterpretation) 
             if !remove_row(db) {
                 return false;
             }
-            db.heap_mut().vacuum();
+            db.backend_mut().maintain(MaintenanceDepth::Lazy);
             ErasureStatus::Deleted { since: now }
         }
         ErasureInterpretation::StronglyDeleted => {
             if !remove_row(db) {
                 return false;
             }
-            db.heap_mut().vacuum_full();
+            db.backend_mut().maintain(MaintenanceDepth::Full);
             ErasureStatus::StronglyDeleted { since: now }
         }
         ErasureInterpretation::PermanentlyDeleted => {
             if !remove_row(db) {
                 return false;
             }
-            db.heap_mut().vacuum_full();
-            db.heap_mut().scrub_wal_unit(unit.0);
+            db.backend_mut().maintain(MaintenanceDepth::Full);
+            db.backend_mut().purge_unit(unit.0);
             db.logger_mut().redact_unit(unit);
-            // Descendants erased by the cascade get their logs scrubbed
-            // too — permanent deletion leaves no log trail of the subject.
+            // Descendants erased by the cascade get their retained log
+            // copies purged too — permanent deletion leaves no trail of
+            // the subject in any log-shaped layer.
             for &d in &descendants {
-                db.heap_mut().scrub_wal_unit(d.0);
+                db.backend_mut().purge_unit(d.0);
                 db.logger_mut().redact_unit(d);
             }
-            db.heap_mut().sanitize_drive(3);
+            db.backend_mut().sanitize(3);
             if let Some(vault) = db.vault_mut() {
                 vault.destroy_key(unit.0);
                 for &d in &descendants {
@@ -160,7 +163,7 @@ pub fn restore_now(db: &mut CompliantDb, key: u64) -> bool {
     if !restorable {
         return false;
     }
-    if db.heap_mut().set_hidden(key, false).is_err() {
+    if db.backend_mut().set_hidden(key, false).is_err() {
         return false;
     }
     let at = db.clock().now();
@@ -177,7 +180,8 @@ pub fn restore_now(db: &mut CompliantDb, key: u64) -> bool {
 }
 
 /// Empirically measure (IR, II, Inv) for one interpretation on a fresh
-/// engine — the measured side of Table 1.
+/// heap-backed engine — the measured side of Table 1. See [`probe_on`]
+/// for the backend-parameterised version.
 ///
 /// Scenario: a subject's record plus an *identifying, invertible* derived
 /// copy (an encrypted backup). After erasure:
@@ -189,11 +193,18 @@ pub fn restore_now(db: &mut CompliantDb, key: u64) -> bool {
 ///   reconstruction from the surviving copy)?
 /// * **Inv** — does the restore action bring the unit back?
 pub fn probe(interp: ErasureInterpretation) -> PropertyProbe {
+    probe_on(BackendKind::Heap, interp)
+}
+
+/// [`probe`] over a chosen storage substrate: the paper's claim that the
+/// grounded properties hold *independently of the underlying system*,
+/// measured per backend.
+pub fn probe_on(backend: BackendKind, interp: ErasureInterpretation) -> PropertyProbe {
     use datacase_workloads::opstream::Op;
     use datacase_workloads::record::GdprMetadata;
 
-    let mut config = crate::profiles::EngineConfig::p_sys();
-    config.tuple_encryption = None; // stock-PSQL-like storage for the probe
+    let mut config = crate::profiles::EngineConfig::p_sys().with_backend(backend);
+    config.tuple_encryption = None; // stock-engine-like storage for the probe
     config.delete_logs_on_erase = false;
     let mut db = CompliantDb::new(config);
 
@@ -227,7 +238,7 @@ pub fn probe(interp: ErasureInterpretation) -> PropertyProbe {
         now,
     );
     let derived_key = 2u64;
-    db.heap_mut()
+    db.backend_mut()
         .insert(derived_key, derived.0, &payload)
         .expect("derived insert");
     db.bind_derived_key(derived, derived_key);
@@ -347,15 +358,17 @@ mod tests {
     use datacase_core::grounding::properties::ErasureProperties;
 
     #[test]
-    fn probes_match_table_1_expected_matrix() {
-        for interp in ErasureInterpretation::ALL {
-            let p = probe(interp);
-            assert_eq!(
-                p.measured,
-                ErasureProperties::expected(interp),
-                "{interp}: notes {:?}",
-                p.notes
-            );
+    fn probes_match_table_1_expected_matrix_on_both_backends() {
+        for backend in BackendKind::ALL {
+            for interp in ErasureInterpretation::ALL {
+                let p = probe_on(backend, interp);
+                assert_eq!(
+                    p.measured,
+                    ErasureProperties::expected(interp),
+                    "{backend:?}/{interp}: notes {:?}",
+                    p.notes
+                );
+            }
         }
     }
 
@@ -445,7 +458,9 @@ mod tests {
             datacase_core::value::Value::Bytes(b"base-data".to_vec()),
             now,
         );
-        db.heap_mut().insert(50, derived.0, b"base-data").unwrap();
+        db.backend_mut()
+            .insert(50, derived.0, b"base-data")
+            .unwrap();
         db.bind_derived_key(derived, 50);
         assert!(erase_now(
             &mut db,
@@ -457,7 +472,7 @@ mod tests {
             .unit(derived)
             .map(|u| u.erasure.is_erased())
             .unwrap());
-        assert_eq!(db.heap_mut().read(50, true), None, "derived row deleted");
+        assert_eq!(db.backend_mut().read(50, true), None, "derived row deleted");
     }
 
     #[test]

@@ -19,6 +19,13 @@
 //! (state + action history from `datacase-core`), so the compliance
 //! checker can audit any run, and exposes the erasure executor that maps
 //! grounded interpretations to system-action plans (Table 1).
+//!
+//! Every profile composes over a pluggable
+//! [`StorageBackend`](datacase_storage::backend::StorageBackend): the
+//! PostgreSQL-style heap or the Cassandra-style LSM tree, selected by
+//! [`EngineConfig::backend`](profiles::EngineConfig) — the full
+//! configuration space is `ProfileKind` × `DeleteStrategy` ×
+//! [`BackendKind`].
 
 pub mod db;
 pub mod driver;
@@ -28,9 +35,10 @@ pub mod profiles;
 pub mod space;
 pub mod sweeper;
 
+pub use datacase_storage::backend::{BackendKind, BackendStats};
 pub use db::{CompliantDb, OpResult};
-pub use driver::{run_ops, sharded_run, RunStats};
-pub use erasure::{lsm_erase, LsmEraseOutcome};
+pub use driver::{run_ops, sharded_run, RunStats, ShardedRun};
+pub use erasure::{lsm_erase, probe_on, LsmEraseOutcome};
 pub use pia::{assess, certify, Certificate, PiaReport};
 pub use profiles::{EngineConfig, ProfileKind};
 pub use space::SpaceReport;

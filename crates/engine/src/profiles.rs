@@ -1,7 +1,14 @@
 //! Engine configuration and the three compliance profiles.
+//!
+//! A configuration is a point in the `ProfileKind` × [`DeleteStrategy`] ×
+//! [`BackendKind`] matrix: which enforcement/logging/crypto stack runs,
+//! how workload deletes are grounded, and which storage substrate the
+//! compliant engine composes over.
 
 use datacase_crypto::aes::KeySize;
+use datacase_storage::backend::BackendKind;
 use datacase_storage::heap::HeapConfig;
+use datacase_storage::lsm::LsmConfig;
 
 /// Which compliance profile an engine instance embodies.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -76,8 +83,12 @@ impl DeleteStrategy {
 pub struct EngineConfig {
     /// The profile (drives enforcement/logging/crypto choices).
     pub profile: ProfileKind,
-    /// Heap configuration.
+    /// Which storage substrate backs the engine.
+    pub backend: BackendKind,
+    /// Heap configuration (used when `backend` is [`BackendKind::Heap`]).
     pub heap: HeapConfig,
+    /// LSM configuration (used when `backend` is [`BackendKind::Lsm`]).
+    pub lsm: LsmConfig,
     /// Per-tuple payload encryption (None = plaintext payloads).
     pub tuple_encryption: Option<KeySize>,
     /// Delete grounding used by workload deletes.
@@ -103,7 +114,9 @@ impl EngineConfig {
     pub fn stock(strategy: DeleteStrategy) -> EngineConfig {
         EngineConfig {
             profile: ProfileKind::Stock,
+            backend: BackendKind::Heap,
             heap: HeapConfig::default(),
+            lsm: LsmConfig::default(),
             tuple_encryption: None,
             delete_strategy: strategy,
             maintenance_every: 1000,
@@ -119,7 +132,9 @@ impl EngineConfig {
     pub fn p_base() -> EngineConfig {
         EngineConfig {
             profile: ProfileKind::PBase,
+            backend: BackendKind::Heap,
             heap: HeapConfig::default(),
+            lsm: LsmConfig::default(),
             tuple_encryption: Some(KeySize::Aes256),
             delete_strategy: DeleteStrategy::DeleteVacuum,
             maintenance_every: 1000,
@@ -135,10 +150,12 @@ impl EngineConfig {
     pub fn p_gbench() -> EngineConfig {
         EngineConfig {
             profile: ProfileKind::PGBench,
+            backend: BackendKind::Heap,
             heap: HeapConfig {
                 disk_passphrase: Some(b"luks-gbench-passphrase".to_vec()),
                 ..HeapConfig::default()
             },
+            lsm: LsmConfig::default(),
             tuple_encryption: None,
             delete_strategy: DeleteStrategy::DeleteOnly,
             maintenance_every: u64::MAX,
@@ -154,7 +171,9 @@ impl EngineConfig {
     pub fn p_sys() -> EngineConfig {
         EngineConfig {
             profile: ProfileKind::PSys,
+            backend: BackendKind::Heap,
             heap: HeapConfig::default(),
+            lsm: LsmConfig::default(),
             tuple_encryption: Some(KeySize::Aes128),
             delete_strategy: DeleteStrategy::DeleteVacuumFull,
             maintenance_every: 2000,
@@ -174,6 +193,20 @@ impl EngineConfig {
             ProfileKind::PGBench => EngineConfig::p_gbench(),
             ProfileKind::PSys => EngineConfig::p_sys(),
         }
+    }
+
+    /// The same configuration over a different storage substrate.
+    pub fn with_backend(mut self, backend: BackendKind) -> EngineConfig {
+        self.backend = backend;
+        self
+    }
+
+    /// Is data encrypted at rest under this configuration? Per-tuple
+    /// encryption counts on any backend; LUKS-style disk encryption is a
+    /// heap-substrate feature.
+    pub fn encryption_at_rest(&self) -> bool {
+        self.tuple_encryption.is_some()
+            || (self.backend == BackendKind::Heap && self.heap.disk_passphrase.is_some())
     }
 }
 
@@ -213,5 +246,33 @@ mod tests {
     fn profile_labels() {
         assert_eq!(ProfileKind::PBase.label(), "P_Base");
         assert_eq!(ProfileKind::PAPER.len(), 3);
+    }
+
+    #[test]
+    fn profiles_default_to_heap_and_rebind_to_lsm() {
+        for kind in [
+            ProfileKind::Stock,
+            ProfileKind::PBase,
+            ProfileKind::PGBench,
+            ProfileKind::PSys,
+        ] {
+            let config = EngineConfig::for_profile(kind);
+            assert_eq!(config.backend, BackendKind::Heap);
+            let lsm = config.with_backend(BackendKind::Lsm);
+            assert_eq!(lsm.backend, BackendKind::Lsm);
+            assert_eq!(lsm.profile, kind, "profile survives the rebind");
+        }
+    }
+
+    #[test]
+    fn encryption_at_rest_accounts_for_backend() {
+        // P_GBench's at-rest evidence is LUKS disk encryption — a heap
+        // feature that does not carry to the LSM substrate.
+        let gbench = EngineConfig::p_gbench();
+        assert!(gbench.encryption_at_rest());
+        assert!(!gbench.with_backend(BackendKind::Lsm).encryption_at_rest());
+        // P_Base encrypts per tuple, which holds on any backend.
+        let base = EngineConfig::p_base();
+        assert!(base.with_backend(BackendKind::Lsm).encryption_at_rest());
     }
 }

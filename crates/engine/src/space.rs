@@ -21,24 +21,27 @@ pub struct SpaceReport {
     pub log_bytes: u64,
     /// Primary-index bytes.
     pub index_bytes: u64,
-    /// Retained WAL bytes.
+    /// Retained recovery-log (WAL) bytes.
     pub wal_bytes: u64,
-    /// Heap page overhead: on-disk table size minus live payload.
+    /// Storage overhead: on-disk table/run size minus live payload.
     pub heap_overhead_bytes: u64,
 }
 
 impl SpaceReport {
-    /// Measure an engine.
+    /// Measure an engine (any storage backend: the buckets come from the
+    /// substrate-independent [`BackendStats`] vocabulary).
+    ///
+    /// [`BackendStats`]: datacase_storage::backend::BackendStats
     pub fn measure(db: &CompliantDb) -> SpaceReport {
         let personal = db.state().personal_bytes();
-        let heap = db.heap_stats();
+        let storage = db.backend_stats();
         SpaceReport {
             personal_bytes: personal,
             policy_bytes: db.enforcer().metadata_bytes(),
             log_bytes: db.logger().bytes(),
-            index_bytes: heap.index_bytes,
-            wal_bytes: heap.wal_bytes,
-            heap_overhead_bytes: heap.disk_bytes.saturating_sub(personal),
+            index_bytes: storage.index_bytes,
+            wal_bytes: storage.log_bytes,
+            heap_overhead_bytes: storage.disk_bytes.saturating_sub(personal),
         }
     }
 

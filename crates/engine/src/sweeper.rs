@@ -123,7 +123,7 @@ pub fn next_due(db: &CompliantDb, config: SweeperConfig) -> Option<Ts> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::db::{Actor, CompliantDb};
+    use crate::db::{Actor, CompliantDb, OpResult};
     use crate::profiles::EngineConfig;
     use datacase_core::regulation::Regulation;
     use datacase_workloads::opstream::Op;
@@ -214,6 +214,38 @@ mod tests {
         let second = sweep(&mut db, SweeperConfig::default());
         assert!(second.erased.is_empty());
         assert_eq!(second.already_erased, 1);
+    }
+
+    #[test]
+    fn sweep_erases_due_units_on_lsm_backend() {
+        use datacase_storage::backend::BackendKind;
+        let mut db = CompliantDb::new(EngineConfig::p_base().with_backend(BackendKind::Lsm));
+        let metadata = GdprMetadata {
+            subject: 1,
+            purpose: wk::billing(),
+            ttl: Ts::from_secs(100),
+            origin_device: 0,
+            objects_to_sharing: false,
+        };
+        db.execute(
+            &Op::Create {
+                key: 0,
+                payload: b"lsm-swept-record".to_vec(),
+                metadata,
+            },
+            Actor::Controller,
+        );
+        db.clock().advance_to(Ts::from_secs(5000));
+        let report = sweep(&mut db, SweeperConfig::default());
+        assert_eq!(report.erased.len(), 1);
+        assert!(report.fully_swept());
+        let unit = db.unit_of_key(0).unwrap();
+        assert!(db.state().unit(unit).unwrap().erasure.is_erased());
+        let read_back = db.execute(&Op::ReadData { key: 0 }, Actor::Controller);
+        assert!(
+            matches!(read_back, OpResult::NotFound | OpResult::Denied),
+            "erased record must be unreadable: {read_back:?}"
+        );
     }
 
     #[test]

@@ -39,6 +39,12 @@ impl ForensicFindings {
         self.online() || !self.remanent_pages.is_empty()
     }
 
+    /// Total residual hits across every layer — the per-backend count
+    /// erasure evidence reports lead with.
+    pub fn total(&self) -> usize {
+        self.file_pages.len() + self.wal_lsns.len() + self.remanent_pages.len() + self.lsm_entries
+    }
+
     /// One-line description for probe notes.
     pub fn describe(&self) -> String {
         format!(

@@ -25,8 +25,12 @@
 //! * [`replica`] — copy-tracked replication (the intro's "track the
 //!   copies and delete all of them");
 //! * [`forensic`] — the independent residual scanner that makes Table 1's
-//!   property matrix *measurable*.
+//!   property matrix *measurable*;
+//! * [`backend`] — the [`StorageBackend`](backend::StorageBackend)
+//!   contract the compliance layer composes over, implemented for the
+//!   heap and (via [`LsmBackend`](backend::LsmBackend)) the LSM tree.
 
+pub mod backend;
 pub mod btree;
 pub mod buffer;
 pub mod disk;
@@ -42,6 +46,9 @@ pub mod tuple;
 pub mod txn;
 pub mod wal;
 
+pub use backend::{
+    BackendKind, BackendStats, LsmBackend, MaintenanceDepth, MaintenanceStats, StorageBackend,
+};
 pub use error::{Result, StorageError};
 pub use forensic::{scan_heap, scan_lsm, ForensicFindings};
 pub use heap::{HeapConfig, HeapDb, HeapStats, VacuumStats};

@@ -119,13 +119,20 @@ impl LsmTree {
 
     /// GET: memtable first, then runs newest → oldest, bloom-gated.
     pub fn get(&mut self, key: u64) -> Option<Vec<u8>> {
+        match self.entry(key)? {
+            Entry::Put { value, .. } => Some(value),
+            Entry::Tombstone { .. } => None,
+        }
+    }
+
+    /// The newest physical entry for `key` — a value version *or* a
+    /// tombstone — at point-read cost. Callers that need the unit id or
+    /// must distinguish "tombstoned" from "never written" use this.
+    pub fn entry(&mut self, key: u64) -> Option<Entry> {
         let model = self.clock.model().clone();
         self.clock.charge_nanos(model.tuple_cpu);
         if let Some(e) = self.memtable.get(key) {
-            return match e {
-                Entry::Put { value, .. } => Some(value.clone()),
-                Entry::Tombstone { .. } => None,
-            };
+            return Some(e.clone());
         }
         for level in &self.levels {
             for run in level.iter().rev() {
@@ -138,10 +145,7 @@ impl LsmTree {
                     .charge_nanos(model.page_read_cached + model.tuple_cpu);
                 Meter::bump(&self.meter.pages_read_cached, 1);
                 if let Some(e) = run.get(key) {
-                    return match e {
-                        Entry::Put { value, .. } => Some(value.clone()),
-                        Entry::Tombstone { .. } => None,
-                    };
+                    return Some(e.clone());
                 }
             }
         }
@@ -252,19 +256,33 @@ impl LsmTree {
 
     /// Range scan of live keys in `[lo, hi]`, merging levels.
     pub fn range(&mut self, lo: u64, hi: u64) -> Vec<(u64, Vec<u8>)> {
+        self.range_units(lo, hi)
+            .into_iter()
+            .map(|(k, _, v)| (k, v))
+            .collect()
+    }
+
+    /// Range scan of live keys in `[lo, hi]` carrying each entry's unit id
+    /// (the compliance layer scans by unit).
+    pub fn range_units(&mut self, lo: u64, hi: u64) -> Vec<(u64, u64, Vec<u8>)> {
         use std::collections::BTreeMap;
-        // (seq, entry) per key; keep the newest.
-        let mut best: BTreeMap<u64, (u64, Option<Vec<u8>>)> = BTreeMap::new();
-        let mut consider = |key: u64, seq: u64, val: Option<Vec<u8>>| {
-            let slot = best.entry(key).or_insert((0, None));
+        // (seq, unit, entry) per key; keep the newest.
+        type Best = (u64, u64, Option<Vec<u8>>);
+        let mut best: BTreeMap<u64, Best> = BTreeMap::new();
+        let mut consider = |key: u64, seq: u64, unit: u64, val: Option<Vec<u8>>| {
+            let slot = best.entry(key).or_insert((0, 0, None));
             if seq >= slot.0 {
-                *slot = (seq, val);
+                *slot = (seq, unit, val);
             }
         };
         for (k, e) in self.memtable.range(lo, hi) {
             match e {
-                Entry::Put { seq, value, .. } => consider(k, *seq, Some(value.clone())),
-                Entry::Tombstone { seq, .. } => consider(k, *seq, None),
+                Entry::Put {
+                    seq,
+                    unit_id,
+                    value,
+                } => consider(k, *seq, *unit_id, Some(value.clone())),
+                Entry::Tombstone { seq, unit_id } => consider(k, *seq, *unit_id, None),
             }
         }
         let model = self.clock.model().clone();
@@ -273,14 +291,18 @@ impl LsmTree {
                 self.clock.charge_nanos(model.page_read_cached);
                 for (k, e) in run.range(lo, hi) {
                     match e {
-                        Entry::Put { seq, value, .. } => consider(k, *seq, Some(value.clone())),
-                        Entry::Tombstone { seq, .. } => consider(k, *seq, None),
+                        Entry::Put {
+                            seq,
+                            unit_id,
+                            value,
+                        } => consider(k, *seq, *unit_id, Some(value.clone())),
+                        Entry::Tombstone { seq, unit_id } => consider(k, *seq, *unit_id, None),
                     }
                 }
             }
         }
         best.into_iter()
-            .filter_map(|(k, (_, v))| v.map(|v| (k, v)))
+            .filter_map(|(k, (_, u, v))| v.map(|v| (k, u, v)))
             .collect()
     }
 

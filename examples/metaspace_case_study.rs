@@ -41,13 +41,13 @@ fn main() {
         }
         let ops = bench.ops(txns, Mix::fig4a_customer());
         let stats = run_ops(&mut db, &ops, Actor::Subject);
-        let heap = db.heap_stats();
+        let storage = db.backend_stats();
         println!(
             "{:<24} completion={:>8}   dead-tuples-left={:<6} pages={}",
             strategy.label(),
             format!("{}", stats.simulated),
-            heap.dead_tuples,
-            heap.pages,
+            storage.dead_entries,
+            storage.segments,
         );
         results.push((strategy, stats.simulated));
     }

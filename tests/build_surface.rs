@@ -36,6 +36,7 @@ const BENCHES: &[&str] = &[
     "ablation_lsm_retention",
     "ablation_policy_index",
     "ablation_vacuum_period",
+    "backend_matrix",
     "fig4a_erasure_interpretations",
     "fig4b_profiles",
     "fig4c_scalability",

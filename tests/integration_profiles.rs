@@ -110,13 +110,12 @@ fn sharded_driver_agrees_with_sequential_results() {
     let mut bench = GdprBench::new(53, 100);
     let load = bench.load_phase(300);
     let txns = bench.ops(300, Mix::wcus());
-    let stats = data_case::engine::driver::sharded_run(&config, &load, &txns, Actor::Subject, 3);
-    let total: usize = stats.iter().map(|s| s.ops).sum();
-    assert_eq!(total, 300);
-    for s in &stats {
-        assert_eq!(
-            s.denied + s.not_found + s.ops - s.denied - s.not_found,
-            s.ops
-        );
+    let run = data_case::engine::driver::sharded_run(&config, &load, &txns, Actor::Subject, 3);
+    assert_eq!(run.total_ops(), 300);
+    for s in &run.shards {
+        assert!(s.denied + s.not_found <= s.ops);
     }
+    // The shards share one meter: the aggregate work snapshot covers the
+    // whole fleet (300 load creates alone log 300 audit records).
+    assert!(run.work.log_records >= 300);
 }
