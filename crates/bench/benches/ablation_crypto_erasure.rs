@@ -2,18 +2,16 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use datacase_core::grounding::erasure::ErasureInterpretation;
-use datacase_engine::db::{Actor, CompliantDb};
-use datacase_engine::erasure::erase_now;
+use datacase_engine::frontend::{Batch, Frontend, Request, Session};
 use datacase_engine::profiles::EngineConfig;
+use datacase_engine::Actor;
 use datacase_workloads::gdprbench::GdprBench;
 
-fn loaded(config: EngineConfig) -> CompliantDb {
-    let mut db = CompliantDb::new(config);
+fn loaded(config: EngineConfig) -> Frontend {
+    let mut fe = Frontend::new(config);
     let mut bench = GdprBench::new(41, 200);
-    for op in bench.load_phase(1_000) {
-        db.execute(&op, Actor::Controller);
-    }
-    db
+    fe.submit_ops(&Session::new(Actor::Controller), &bench.load_phase(1_000));
+    fe
 }
 
 fn bench_crypto_erasure(c: &mut Criterion) {
@@ -26,11 +24,15 @@ fn bench_crypto_erasure(c: &mut Criterion) {
                 cfg.tuple_encryption = None;
                 loaded(cfg)
             },
-            |mut db| {
-                for key in 0..20u64 {
-                    erase_now(&mut db, key, ErasureInterpretation::PermanentlyDeleted);
-                }
-                db
+            |mut fe| {
+                let erasures: Batch = (0..20u64)
+                    .map(|key| Request::Erase {
+                        key,
+                        interpretation: ErasureInterpretation::PermanentlyDeleted,
+                    })
+                    .collect();
+                fe.submit(&Session::new(Actor::Controller), &erasures);
+                fe
             },
             criterion::BatchSize::LargeInput,
         );
@@ -38,15 +40,13 @@ fn bench_crypto_erasure(c: &mut Criterion) {
     group.bench_function("crypto_erasure_key_destroy", |b| {
         b.iter_batched(
             || loaded(EngineConfig::p_sys()),
-            |mut db| {
+            |mut fe| {
                 for key in 0..20u64 {
-                    if let Some(unit) = db.unit_of_key(key) {
-                        if let Some(vault) = db.vault_mut() {
-                            vault.destroy_key(unit.0);
-                        }
+                    if let Some(unit) = fe.unit_of_key(key) {
+                        fe.forensic().destroy_key(unit);
                     }
                 }
-                db
+                fe
             },
             criterion::BatchSize::LargeInput,
         );

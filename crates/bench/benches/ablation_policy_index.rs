@@ -1,9 +1,10 @@
 //! Criterion ablation: FGAC with/without the Sieve policy index.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use datacase_engine::db::{Actor, CompliantDb};
 use datacase_engine::driver::run_ops;
+use datacase_engine::frontend::{Frontend, Session};
 use datacase_engine::profiles::EngineConfig;
+use datacase_engine::Actor;
 use datacase_workloads::gdprbench::{GdprBench, Mix};
 
 fn bench_policy_index(c: &mut Criterion) {
@@ -18,13 +19,11 @@ fn bench_policy_index(c: &mut Criterion) {
                 b.iter(|| {
                     let mut config = EngineConfig::p_sys();
                     config.fgac_index = use_index;
-                    let mut db = CompliantDb::new(config);
+                    let mut fe = Frontend::new(config);
                     let mut bench = GdprBench::new(31, 200);
-                    for op in &bench.load_phase(1_000) {
-                        db.execute(op, Actor::Controller);
-                    }
+                    fe.submit_ops(&Session::new(Actor::Controller), &bench.load_phase(1_000));
                     let ops = bench.ops(500, Mix::wpro());
-                    run_ops(&mut db, &ops, Actor::Processor)
+                    run_ops(&mut fe, &ops, Actor::Processor)
                 });
             },
         );

@@ -1,9 +1,10 @@
 //! Criterion ablation: autovacuum period sweep under the Fig-4a mix.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use datacase_engine::db::{Actor, CompliantDb};
 use datacase_engine::driver::run_ops;
+use datacase_engine::frontend::{Frontend, Session};
 use datacase_engine::profiles::{DeleteStrategy, EngineConfig};
+use datacase_engine::Actor;
 use datacase_workloads::gdprbench::{GdprBench, Mix};
 
 fn bench_vacuum_period(c: &mut Criterion) {
@@ -19,13 +20,11 @@ fn bench_vacuum_period(c: &mut Criterion) {
             b.iter(|| {
                 let mut config = EngineConfig::stock(DeleteStrategy::DeleteVacuum);
                 config.maintenance_every = period;
-                let mut db = CompliantDb::new(config);
+                let mut fe = Frontend::new(config);
                 let mut bench = GdprBench::new(13, 200);
-                for op in &bench.load_phase(2_000) {
-                    db.execute(op, Actor::Controller);
-                }
+                fe.submit_ops(&Session::new(Actor::Controller), &bench.load_phase(2_000));
                 let ops = bench.ops(1_000, Mix::fig4a_customer());
-                run_ops(&mut db, &ops, Actor::Subject)
+                run_ops(&mut fe, &ops, Actor::Subject)
             });
         });
     }

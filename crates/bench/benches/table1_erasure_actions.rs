@@ -1,22 +1,21 @@
 //! Criterion bench for Table 1: cost of executing each erasure
-//! interpretation's system-action plan on a loaded engine.
+//! interpretation's system-action plan on a loaded engine, driven through
+//! the frontend's `Erase` request.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datacase_core::grounding::erasure::ErasureInterpretation;
-use datacase_engine::db::{Actor, CompliantDb};
-use datacase_engine::erasure::erase_now;
+use datacase_engine::frontend::{Frontend, Request, Session};
 use datacase_engine::profiles::EngineConfig;
+use datacase_engine::Actor;
 use datacase_workloads::gdprbench::GdprBench;
 
-fn loaded_db(records: usize) -> CompliantDb {
+fn loaded_frontend(records: usize) -> Frontend {
     let mut config = EngineConfig::p_sys();
     config.tuple_encryption = None;
-    let mut db = CompliantDb::new(config);
+    let mut fe = Frontend::new(config);
     let mut bench = GdprBench::new(77, 500);
-    for op in bench.load_phase(records) {
-        db.execute(&op, Actor::Controller);
-    }
-    db
+    fe.submit_ops(&Session::new(Actor::Controller), &bench.load_phase(records));
+    fe
 }
 
 fn bench_table1(c: &mut Criterion) {
@@ -28,10 +27,17 @@ fn bench_table1(c: &mut Criterion) {
             &interp,
             |b, &interp| {
                 b.iter_batched(
-                    || loaded_db(1_000),
-                    |mut db| {
-                        assert!(erase_now(&mut db, 500, interp));
-                        db
+                    || loaded_frontend(1_000),
+                    |mut fe| {
+                        let r = fe.run(
+                            &Session::new(Actor::Controller),
+                            Request::Erase {
+                                key: 500,
+                                interpretation: interp,
+                            },
+                        );
+                        assert!(r.outcome.is_ok());
+                        fe
                     },
                     criterion::BatchSize::LargeInput,
                 );

@@ -7,16 +7,16 @@ use datacase_core::grounding::table::{Backend, GroundingTable};
 use datacase_core::invariants::full_catalog;
 use datacase_core::regulation::Regulation;
 use datacase_core::timeline::ErasureTimeline;
-use datacase_engine::db::{Actor, CompliantDb};
 use datacase_engine::driver::{run_ops, RunStats};
-use datacase_engine::erasure::{erase_now, probe};
+use datacase_engine::erasure::probe;
+use datacase_engine::frontend::{Batch, Frontend, Request, Session};
 use datacase_engine::profiles::{DeleteStrategy, EngineConfig, ProfileKind};
 use datacase_engine::space::SpaceReport;
+use datacase_engine::Actor;
 use datacase_sim::report::{f3, Table};
 use datacase_sim::time::Dur;
 use datacase_storage::backend::BackendKind;
 use datacase_workloads::gdprbench::{GdprBench, Mix};
-use datacase_workloads::opstream::Op;
 use datacase_workloads::ycsb::{Ycsb, YcsbWorkload};
 
 /// Scale knob for quick runs (divides record/txn counts).
@@ -50,16 +50,14 @@ fn buffer_pages_for(records: u64) -> usize {
     ((records / 390) as usize).max(32)
 }
 
-fn load_db(profile: ProfileKind, records: u64, seed: u64) -> (CompliantDb, GdprBench) {
+fn load_db(profile: ProfileKind, records: u64, seed: u64) -> (Frontend, GdprBench) {
     let mut config = EngineConfig::for_profile(profile);
     config.heap.buffer_pages = buffer_pages_for(records);
-    let mut db = CompliantDb::new(config);
+    let mut fe = Frontend::new(config);
     let mut bench = GdprBench::new(seed, 1000);
     let load = bench.load_phase(records as usize);
-    for op in &load {
-        db.execute(op, Actor::Controller);
-    }
-    (db, bench)
+    fe.submit_ops(&Session::new(Actor::Controller), &load);
+    (fe, bench)
 }
 
 // ---------------------------------------------------------------------
@@ -74,14 +72,12 @@ pub fn fig4a_cell(strategy: DeleteStrategy, records: u64, txns: u64, seed: u64) 
     let mut config = EngineConfig::stock(strategy);
     config.maintenance_every = (txns / 35).max(20);
     config.heap.buffer_pages = buffer_pages_for(records);
-    let mut db = CompliantDb::new(config);
+    let mut fe = Frontend::new(config);
     let mut bench = GdprBench::new(seed, 1000);
     let load = bench.load_phase(records as usize);
-    for op in &load {
-        db.execute(op, Actor::Controller);
-    }
+    fe.submit_ops(&Session::new(Actor::Controller), &load);
     let ops = bench.ops(txns as usize, Mix::fig4a_customer());
-    run_ops(&mut db, &ops, Actor::Subject)
+    run_ops(&mut fe, &ops, Actor::Subject)
 }
 
 /// Figure 4a: all four strategies over the transaction sweep.
@@ -121,13 +117,14 @@ pub fn fig4a_delete_only(scale: Scale) -> Table {
     for strategy in [DeleteStrategy::DeleteOnly, DeleteStrategy::DeleteVacuum] {
         let mut config = EngineConfig::stock(strategy);
         config.maintenance_every = 1000;
-        let mut db = CompliantDb::new(config);
+        let mut fe = Frontend::new(config);
         let mut bench = GdprBench::new(7, 1000);
-        for op in &bench.load_phase(records as usize) {
-            db.execute(op, Actor::Controller);
-        }
+        fe.submit_ops(
+            &Session::new(Actor::Controller),
+            &bench.load_phase(records as usize),
+        );
         let ops = bench.ops(txns as usize, Mix::delete_only());
-        let stats = run_ops(&mut db, &ops, Actor::Subject);
+        let stats = run_ops(&mut fe, &ops, Actor::Subject);
         table.row(vec![
             strategy.label().into(),
             f3(stats.simulated.as_secs_f64()),
@@ -194,22 +191,22 @@ pub fn profile_cell(
     records: u64,
     txns: u64,
     seed: u64,
-) -> (RunStats, CompliantDb) {
+) -> (RunStats, Frontend) {
     match workload {
         BenchWorkload::YcsbC => {
             let mut config = EngineConfig::for_profile(profile);
             config.heap.buffer_pages = buffer_pages_for(records);
-            let mut db = CompliantDb::new(config);
+            let mut fe = Frontend::new(config);
             let mut y = Ycsb::new(seed, records);
             let mut all_ops = y.load_phase();
             all_ops.extend(y.ops(txns as usize, YcsbWorkload::C));
-            let stats = run_ops(&mut db, &all_ops, workload.actor());
-            (stats, db)
+            let stats = run_ops(&mut fe, &all_ops, workload.actor());
+            (stats, fe)
         }
         gdpr => {
             let mut config = EngineConfig::for_profile(profile);
             config.heap.buffer_pages = buffer_pages_for(records);
-            let mut db = CompliantDb::new(config);
+            let mut fe = Frontend::new(config);
             let mut bench = GdprBench::new(seed, 1000);
             let mix = match gdpr {
                 BenchWorkload::WPro => Mix::wpro(),
@@ -218,8 +215,8 @@ pub fn profile_cell(
             };
             let mut all_ops = bench.load_phase(records as usize);
             all_ops.extend(bench.ops(txns as usize, mix));
-            let stats = run_ops(&mut db, &all_ops, workload.actor());
-            (stats, db)
+            let stats = run_ops(&mut fe, &all_ops, workload.actor());
+            (stats, fe)
         }
     }
 }
@@ -309,17 +306,19 @@ pub fn backend_cell(
     config.delete_strategy = strategy;
     config.maintenance_every = (txns / 35).max(20);
     config.heap.buffer_pages = buffer_pages_for(records);
-    let mut db = CompliantDb::new(config);
+    let mut fe = Frontend::new(config);
     let mut bench = GdprBench::new(seed, 1000);
-    for op in &bench.load_phase(records as usize) {
-        db.execute(op, Actor::Controller);
-    }
+    fe.submit_ops(
+        &Session::new(Actor::Controller),
+        &bench.load_phase(records as usize),
+    );
     let ops = bench.ops(txns as usize, Mix::wcus());
-    run_ops(&mut db, &ops, Actor::Subject)
+    run_ops(&mut fe, &ops, Actor::Subject)
 }
 
 /// The backend matrix: one row per (profile, backend, delete-strategy)
-/// cell — completion time plus the run's denial/not-found profile, so
+/// cell — completion time plus the run's typed error profile (policy
+/// denials vs never-existed keys vs retention-expired records), so
 /// backend parity (identical enforcement behaviour, different storage
 /// cost) is visible in one table.
 pub fn backend_matrix(scale: Scale) -> Table {
@@ -334,6 +333,7 @@ pub fn backend_matrix(scale: Scale) -> Table {
             "completion (sim s)",
             "denied",
             "not-found",
+            "expired",
         ],
     );
     for profile in ProfileKind::PAPER {
@@ -347,6 +347,7 @@ pub fn backend_matrix(scale: Scale) -> Table {
                     f3(stats.simulated.as_secs_f64()),
                     stats.denied.to_string(),
                     stats.not_found.to_string(),
+                    stats.expired.to_string(),
                 ]);
             }
         }
@@ -421,7 +422,8 @@ pub fn table2(scale: Scale) -> (Table, Vec<(ProfileKind, SpaceReport)>) {
 pub fn fig3() -> (String, ErasureTimeline) {
     let mut config = EngineConfig::p_sys();
     config.tuple_encryption = None;
-    let mut db = CompliantDb::new(config);
+    let mut fe = Frontend::new(config);
+    let controller = Session::new(Actor::Controller);
     let meta = datacase_workloads::record::GdprMetadata {
         subject: 1,
         purpose: datacase_core::purpose::well_known::smart_space(),
@@ -429,29 +431,32 @@ pub fn fig3() -> (String, ErasureTimeline) {
         origin_device: 3,
         objects_to_sharing: false,
     };
-    db.execute(
-        &Op::Create {
+    fe.run(
+        &controller,
+        Request::Create {
             key: 1,
             payload: b"figure-3-subject-data".to_vec(),
             metadata: meta,
         },
-        Actor::Controller,
     );
-    let unit = db.unit_of_key(1).expect("created");
+    let unit = fe.unit_of_key(1).expect("created");
     // Let the unit live a while, then stage the erasure.
-    db.clock()
-        .advance_to(datacase_sim::time::Ts::from_secs(1000));
-    erase_now(&mut db, 1, ErasureInterpretation::ReversiblyInaccessible);
-    db.clock()
-        .advance_to(datacase_sim::time::Ts::from_secs(2000));
-    erase_now(&mut db, 1, ErasureInterpretation::Deleted);
-    db.clock()
-        .advance_to(datacase_sim::time::Ts::from_secs(2500));
-    erase_now(&mut db, 1, ErasureInterpretation::StronglyDeleted);
-    db.clock()
-        .advance_to(datacase_sim::time::Ts::from_secs(3000));
-    erase_now(&mut db, 1, ErasureInterpretation::PermanentlyDeleted);
-    let tl = ErasureTimeline::from_history(db.history(), unit);
+    let mut stage = |at_secs: u64, interpretation: ErasureInterpretation| {
+        fe.clock()
+            .advance_to(datacase_sim::time::Ts::from_secs(at_secs));
+        fe.run(
+            &controller,
+            Request::Erase {
+                key: 1,
+                interpretation,
+            },
+        );
+    };
+    stage(1000, ErasureInterpretation::ReversiblyInaccessible);
+    stage(2000, ErasureInterpretation::Deleted);
+    stage(2500, ErasureInterpretation::StronglyDeleted);
+    stage(3000, ErasureInterpretation::PermanentlyDeleted);
+    let tl = ErasureTimeline::from_history(fe.history(), unit);
     (tl.render(), tl)
 }
 
@@ -487,23 +492,25 @@ pub fn fig1() -> Table {
 /// violations (an unauthorised read recorded into history, an overdue
 /// unerased unit) and return the failing report.
 pub fn invariants_demo() -> (ComplianceReport, ComplianceReport) {
-    let (mut db, mut bench) = load_db(ProfileKind::PSys, 200, 5);
+    let (mut fe, mut bench) = load_db(ProfileKind::PSys, 200, 5);
     let ops = bench.ops(300, Mix::wcus());
-    run_ops(&mut db, &ops, Actor::Subject);
-    let clean = db.compliance_report(&Regulation::gdpr());
+    run_ops(&mut fe, &ops, Actor::Subject);
+    let clean = fe.compliance_report(&Regulation::gdpr());
 
     // Violation injection: an action recorded with no covering policy
-    // (as if enforcement had been bypassed).
-    let unit = db.unit_of_key(1).expect("loaded");
-    let rogue = db.entities().by_name("AdPartner").expect("registered").id;
-    db.record_history(datacase_core::history::HistoryTuple {
-        unit,
-        purpose: datacase_core::purpose::well_known::advertising(),
-        entity: rogue,
-        action: datacase_core::action::Action::Read,
-        at: db.clock().now(),
-    });
-    let dirty = db.compliance_report(&Regulation::gdpr());
+    // (as if enforcement had been bypassed — hence the forensic guard).
+    let unit = fe.unit_of_key(1).expect("loaded");
+    let rogue = fe.entities().by_name("AdPartner").expect("registered").id;
+    let at = fe.clock().now();
+    fe.forensic()
+        .inject_history(datacase_core::history::HistoryTuple {
+            unit,
+            purpose: datacase_core::purpose::well_known::advertising(),
+            entity: rogue,
+            action: datacase_core::action::Action::Read,
+            at,
+        });
+    let dirty = fe.compliance_report(&Regulation::gdpr());
     (clean, dirty)
 }
 
@@ -522,13 +529,14 @@ pub fn ablation_policy_index(scale: Scale) -> Table {
     for use_index in [true, false] {
         let mut config = EngineConfig::p_sys();
         config.fgac_index = use_index;
-        let mut db = CompliantDb::new(config);
+        let mut fe = Frontend::new(config);
         let mut bench = GdprBench::new(31, 1000);
-        for op in &bench.load_phase(records as usize) {
-            db.execute(op, Actor::Controller);
-        }
+        fe.submit_ops(
+            &Session::new(Actor::Controller),
+            &bench.load_phase(records as usize),
+        );
         let ops = bench.ops(txns as usize, Mix::wpro());
-        let stats = run_ops(&mut db, &ops, Actor::Processor);
+        let stats = run_ops(&mut fe, &ops, Actor::Processor);
         table.row(vec![
             if use_index {
                 "Sieve index"
@@ -553,13 +561,14 @@ pub fn ablation_vacuum_period(scale: Scale) -> Table {
     for period in [100u64, 500, 1000, 2000, 5000, u64::MAX] {
         let mut config = EngineConfig::stock(DeleteStrategy::DeleteVacuum);
         config.maintenance_every = period;
-        let mut db = CompliantDb::new(config);
+        let mut fe = Frontend::new(config);
         let mut bench = GdprBench::new(13, 1000);
-        for op in &bench.load_phase(records as usize) {
-            db.execute(op, Actor::Controller);
-        }
+        fe.submit_ops(
+            &Session::new(Actor::Controller),
+            &bench.load_phase(records as usize),
+        );
         let ops = bench.ops(txns as usize, Mix::fig4a_customer());
-        let stats = run_ops(&mut db, &ops, Actor::Subject);
+        let stats = run_ops(&mut fe, &ops, Actor::Subject);
         let label = if period == u64::MAX {
             "never (DELETE only)".to_string()
         } else {
@@ -644,21 +653,25 @@ pub fn ablation_crypto_erasure(scale: Scale) -> Table {
             "residuals afterwards",
         ],
     );
-    // Physical: delete + vacuum full + sanitize per batch.
+    // Physical: delete + vacuum full + sanitize per batch — one erase
+    // request per key through the frontend's compliance path.
     {
         let mut config = EngineConfig::p_sys();
         config.tuple_encryption = None;
-        let mut db = CompliantDb::new(config);
+        let mut fe = Frontend::new(config);
         let mut bench = GdprBench::new(41, 1000);
-        for op in &bench.load_phase(records as usize) {
-            db.execute(op, Actor::Controller);
-        }
-        let t0 = db.clock().now();
-        for key in 0..100u64 {
-            erase_now(&mut db, key, ErasureInterpretation::PermanentlyDeleted);
-        }
-        let cost = db.clock().now().since(t0);
-        let f = db.forensic(b"person=");
+        let controller = Session::new(Actor::Controller);
+        fe.submit_ops(&controller, &bench.load_phase(records as usize));
+        let t0 = fe.clock().now();
+        let erasures: Batch = (0..100u64)
+            .map(|key| Request::Erase {
+                key,
+                interpretation: ErasureInterpretation::PermanentlyDeleted,
+            })
+            .collect();
+        fe.submit(&controller, &erasures);
+        let cost = fe.clock().now().since(t0);
+        let f = fe.forensic().scan(b"person=");
         table.row(vec![
             "physical (VACUUM FULL + sanitise)".into(),
             f3(cost.as_secs_f64()),
@@ -674,22 +687,21 @@ pub fn ablation_crypto_erasure(scale: Scale) -> Table {
     // permanently unreadable without touching the heap.
     {
         let config = EngineConfig::p_sys(); // AES-128 per-tuple keys
-        let mut db = CompliantDb::new(config);
+        let mut fe = Frontend::new(config);
         let mut bench = GdprBench::new(41, 1000);
-        for op in &bench.load_phase(records as usize) {
-            db.execute(op, Actor::Controller);
-        }
-        let t0 = db.clock().now();
+        fe.submit_ops(
+            &Session::new(Actor::Controller),
+            &bench.load_phase(records as usize),
+        );
+        let t0 = fe.clock().now();
         for key in 0..100u64 {
-            if let Some(unit) = db.unit_of_key(key) {
-                if let Some(vault) = db.vault_mut() {
-                    vault.destroy_key(unit.0);
-                }
+            if let Some(unit) = fe.unit_of_key(key) {
+                fe.forensic().destroy_key(unit);
             }
         }
-        let cost = db.clock().now().since(t0);
+        let cost = fe.clock().now().since(t0);
         // Plaintext was never on disk; key destruction sealed it forever.
-        let f = db.forensic(b"person=");
+        let f = fe.forensic().scan(b"person=");
         table.row(vec![
             "crypto-erasure (destroy per-unit key)".into(),
             f3(cost.as_secs_f64()),
@@ -720,13 +732,11 @@ pub fn ablation_aes_strength(scale: Scale) -> Table {
     ] {
         let mut config = EngineConfig::p_base();
         config.tuple_encryption = size;
-        let mut db = CompliantDb::new(config);
+        let mut fe = Frontend::new(config);
         let mut y = Ycsb::new(3, records);
-        for op in &y.load_phase() {
-            db.execute(op, Actor::Controller);
-        }
+        fe.submit_ops(&Session::new(Actor::Controller), &y.load_phase());
         let ops = y.ops(txns as usize, YcsbWorkload::C);
-        let stats = run_ops(&mut db, &ops, Actor::Processor);
+        let stats = run_ops(&mut fe, &ops, Actor::Processor);
         table.row(vec![label.into(), f3(stats.simulated.as_secs_f64())]);
     }
     table

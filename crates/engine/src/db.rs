@@ -1,5 +1,12 @@
 //! The compliant database: substrates wired per profile, with the
 //! Data-CASE abstract model maintained alongside for auditability.
+//!
+//! `CompliantDb` is crate-internal: the only public mutation path is the
+//! session-scoped [`Frontend`](crate::frontend::Frontend), which owns an
+//! engine and drives it through [`CompliantDb::apply`]. Raw substrate /
+//! model access is available in-crate (erasure executor, sweeper, space
+//! accounting) and, for tests and probes, through the clearly-marked
+//! [`Forensic`](crate::frontend::Forensic) guard.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -32,8 +39,10 @@ use datacase_storage::backend::{
 };
 use datacase_storage::forensic::ForensicFindings;
 use datacase_storage::heap::HeapDb;
-use datacase_workloads::opstream::{MetaField, MetaSelector, Op};
+use datacase_workloads::opstream::{MetaField, MetaSelector};
 
+use crate::error::EngineError;
+use crate::frontend::{Reply, Request};
 use crate::profiles::{DeleteStrategy, EngineConfig, ProfileKind};
 
 /// Who is issuing operations (maps workloads to entities).
@@ -47,21 +56,6 @@ pub enum Actor {
     Subject,
 }
 
-/// Outcome of one executed operation.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum OpResult {
-    /// Mutation applied.
-    Done,
-    /// Read returned this many payload bytes.
-    Value(usize),
-    /// Metadata-based read returned this many rows.
-    Rows(usize),
-    /// Key not found (deleted or never existed).
-    NotFound,
-    /// Policy enforcement denied the operation.
-    Denied,
-}
-
 /// Per-key bookkeeping the executor needs without touching the model.
 #[derive(Clone, Copy, Debug)]
 struct KeyMeta {
@@ -70,6 +64,23 @@ struct KeyMeta {
     purpose: PurposeId,
     ttl: Ts,
 }
+
+/// Session-scoped allow-decision cache (see [`Session::cached`]).
+///
+/// Only *allow* decisions are cached — denials must always re-log their
+/// reason — and a cached allow is reused for at most [`DECISION_TTL`]
+/// simulated nanoseconds, so a policy expiring mid-session is observed
+/// promptly. Any policy mutation clears the cache wholesale.
+///
+/// [`Session::cached`]: crate::frontend::Session::cached
+#[derive(Default)]
+struct DecisionCache {
+    enabled: bool,
+    allows: HashMap<(UnitId, EntityId, PurposeId, ActionKind), Ts>,
+}
+
+/// How long a cached allow decision may be reused (1 simulated ms).
+const DECISION_TTL: u64 = 1_000_000;
 
 /// The compliant database engine.
 ///
@@ -97,6 +108,7 @@ pub struct CompliantDb {
     by_subject: HashMap<u32, HashSet<u64>>,
     clock: SimClock,
     meter: Arc<Meter>,
+    decisions: DecisionCache,
     deletes_since_maintenance: u64,
     ops_since_checkpoint: u64,
     log_seq: u64,
@@ -114,14 +126,18 @@ impl std::fmt::Debug for CompliantDb {
 
 impl CompliantDb {
     /// Build an engine for `config` on a fresh clock/meter.
-    pub fn new(config: EngineConfig) -> CompliantDb {
+    pub(crate) fn new(config: EngineConfig) -> CompliantDb {
         let clock = SimClock::commodity();
         let meter = Arc::new(Meter::new());
         CompliantDb::with_clock(config, clock, meter)
     }
 
     /// Build an engine sharing an existing clock/meter (sharded runs).
-    pub fn with_clock(config: EngineConfig, clock: SimClock, meter: Arc<Meter>) -> CompliantDb {
+    pub(crate) fn with_clock(
+        config: EngineConfig,
+        clock: SimClock,
+        meter: Arc<Meter>,
+    ) -> CompliantDb {
         let mut entities = EntityRegistry::new();
         let controller = entities.register("MetaSpace", EntityKind::Controller);
         let processor = entities.register("CloudProc", EntityKind::Processor);
@@ -202,6 +218,7 @@ impl CompliantDb {
             by_subject: HashMap::new(),
             clock,
             meter,
+            decisions: DecisionCache::default(),
             deletes_since_maintenance: 0,
             ops_since_checkpoint: 0,
             log_seq: 0,
@@ -302,16 +319,46 @@ impl CompliantDb {
         }
     }
 
-    fn unit_erased(&self, unit: UnitId) -> bool {
-        self.state
-            .unit(unit)
-            .map(|u| u.erasure.is_erased())
-            .unwrap_or(false)
+    /// When the unit left the live state, if it did.
+    fn erased_since(&self, unit: UnitId) -> Option<Ts> {
+        match self.state.unit(unit)?.erasure {
+            ErasureStatus::Active => None,
+            ErasureStatus::ReversiblyInaccessible { since }
+            | ErasureStatus::Deleted { since }
+            | ErasureStatus::StronglyDeleted { since }
+            | ErasureStatus::PermanentlyDeleted { since } => Some(since),
+        }
+    }
+
+    /// The error for an access to a key whose row is physically absent:
+    /// erased units report the erasure, anything else is a plain miss.
+    fn gone(&self, key: u64, unit: UnitId) -> EngineError {
+        match self.erased_since(unit) {
+            Some(since) => EngineError::RetentionExpired { key, since },
+            None => EngineError::NotFound { key },
+        }
     }
 
     fn next_log(&mut self) -> u64 {
         self.log_seq += 1;
         self.log_seq
+    }
+
+    /// Audit sequence numbers issued so far (the frontend derives
+    /// [`AuditRef`](crate::frontend::AuditRef)s from before/after pairs).
+    pub(crate) fn log_seq(&self) -> u64 {
+        self.log_seq
+    }
+
+    /// Enable or disable the session decision cache for subsequent ops.
+    pub(crate) fn set_decision_cache(&mut self, enabled: bool) {
+        self.decisions.enabled = enabled;
+    }
+
+    /// Drop all cached allow decisions (any policy mutation must call
+    /// this — grants, revocations, erasures, sweeps).
+    pub(crate) fn invalidate_decisions(&mut self) {
+        self.decisions.allows.clear();
     }
 
     fn log(
@@ -341,19 +388,34 @@ impl CompliantDb {
         entity: EntityId,
         purpose: PurposeId,
         action: ActionKind,
-    ) -> bool {
+    ) -> Result<(), EngineError> {
         if self.config.profile == ProfileKind::Stock {
-            return true; // vanilla engine: no enforcement at all
+            return Ok(()); // vanilla engine: no enforcement at all
+        }
+        let now = self.clock.now();
+        if self.decisions.enabled {
+            if let Some(&at) = self.decisions.allows.get(&(unit, entity, purpose, action)) {
+                if now.0.saturating_sub(at.0) <= DECISION_TTL {
+                    return Ok(());
+                }
+            }
         }
         let req = AccessRequest {
             unit,
             entity,
             purpose,
             action,
-            at: self.clock.now(),
+            at: now,
         };
         match self.enforcer.check(&req) {
-            Decision::Allow => true,
+            Decision::Allow => {
+                if self.decisions.enabled {
+                    self.decisions
+                        .allows
+                        .insert((unit, entity, purpose, action), now);
+                }
+                Ok(())
+            }
             Decision::Deny(reason) => {
                 self.denied += 1;
                 let seq = self.next_log();
@@ -364,10 +426,10 @@ impl CompliantDb {
                     entity,
                     purpose,
                     op: "DENIED".into(),
-                    payload: reason.into_bytes(),
+                    payload: reason.clone().into_bytes(),
                     redacted: false,
                 });
-                false
+                Err(EngineError::Denied { reason })
             }
         }
     }
@@ -407,26 +469,96 @@ impl CompliantDb {
         }
     }
 
-    /// Execute one workload operation as `actor`.
-    pub fn execute(&mut self, op: &Op, actor: Actor) -> OpResult {
-        self.ops_since_checkpoint += 1;
-        if self.ops_since_checkpoint >= self.config.checkpoint_every {
-            self.ops_since_checkpoint = 0;
-            self.backend.checkpoint();
-            self.backend.recycle_logs();
+    /// Execute one request as `actor` under an optional declared purpose.
+    ///
+    /// This is the crate-internal execution entry the
+    /// [`Frontend`](crate::frontend::Frontend) choke point drives; it is
+    /// deliberately not `pub`.
+    pub(crate) fn apply(
+        &mut self,
+        request: &Request,
+        actor: Actor,
+        purpose: Option<PurposeId>,
+    ) -> Result<Reply, EngineError> {
+        if !matches!(request, Request::Erase { .. } | Request::Restore { .. }) {
+            // Workload ops drive the checkpoint cadence; the compliance
+            // path (erase/restore) never did and still does not.
+            self.ops_since_checkpoint += 1;
+            if self.ops_since_checkpoint >= self.config.checkpoint_every {
+                self.ops_since_checkpoint = 0;
+                self.backend.checkpoint();
+                self.backend.recycle_logs();
+            }
         }
-        match op {
-            Op::Create {
+        match request {
+            Request::Create {
                 key,
                 payload,
                 metadata,
             } => self.op_create(*key, payload, metadata),
-            Op::ReadData { key } => self.op_read(*key, actor),
-            Op::UpdateData { key, payload } => self.op_update(*key, payload, actor),
-            Op::DeleteData { key } => self.op_delete(*key, actor),
-            Op::ReadMeta { key } => self.op_read_meta(*key, actor),
-            Op::UpdateMeta { key, field } => self.op_update_meta(*key, *field, actor),
-            Op::ReadByMetadata { selector } => self.op_read_by_meta(*selector),
+            Request::Read { key } => self.op_read(*key, actor, purpose),
+            Request::Update { key, payload } => self.op_update(*key, payload, actor, purpose),
+            Request::Delete { key } => self.op_delete(*key, actor),
+            Request::ReadMeta { key } => self.op_read_meta(*key, actor, purpose),
+            Request::UpdateMeta { key, field } => self.op_update_meta(*key, *field, actor),
+            Request::ReadByMeta { selector } => self.op_read_by_meta(*selector, purpose),
+            Request::Erase {
+                key,
+                interpretation,
+            } => self.op_erase(*key, *interpretation, actor),
+            Request::Restore { key } => self.op_restore(*key, actor),
+        }
+    }
+
+    /// The compliance erase path.
+    ///
+    /// Erasure is the one request whose entitlement never lapses: the
+    /// subject's right to erasure and the controller's retention duty
+    /// hold regardless of the unit's policy state — the policies may
+    /// already be revoked (a prior, weaker erasure being escalated) or
+    /// expired (an overdue unit must stay erasable). Processors have
+    /// neither right nor duty; their erase requests go through policy
+    /// enforcement like any other action and are denied (with an audit
+    /// record) unless a policy explicitly grants them `Erase`.
+    fn op_erase(
+        &mut self,
+        key: u64,
+        interpretation: ErasureInterpretation,
+        actor: Actor,
+    ) -> Result<Reply, EngineError> {
+        let Some(meta) = self.key_meta.get(&key).copied() else {
+            return Err(EngineError::NotFound { key });
+        };
+        let entity = self.actor_entity(actor, meta.subject);
+        if actor == Actor::Processor {
+            self.check(meta.unit, entity, wk::compliance_erase(), ActionKind::Erase)?;
+        }
+        if crate::erasure::erase_now(self, key, interpretation, entity) {
+            Ok(Reply::Erased(interpretation))
+        } else {
+            Err(EngineError::NotFound { key })
+        }
+    }
+
+    /// The inverse compliance action. Restoration cannot be checked
+    /// against unit policies (they were revoked with the erasure), so it
+    /// is gated on the actor: the subject reclaiming their data or the
+    /// controller handling their request — never a processor.
+    fn op_restore(&mut self, key: u64, actor: Actor) -> Result<Reply, EngineError> {
+        if self.unit_of_key(key).is_none() {
+            return Err(EngineError::NotFound { key });
+        }
+        if actor == Actor::Processor {
+            return Err(EngineError::Denied {
+                reason: "processors cannot restore erased records".into(),
+            });
+        }
+        if crate::erasure::restore_now(self, key) {
+            Ok(Reply::Restored)
+        } else {
+            Err(EngineError::Denied {
+                reason: "unit is not reversibly inaccessible".into(),
+            })
         }
     }
 
@@ -435,9 +567,18 @@ impl CompliantDb {
         key: u64,
         payload: &[u8],
         metadata: &datacase_workloads::record::GdprMetadata,
-    ) -> OpResult {
-        if self.key_meta.contains_key(&key) {
-            return OpResult::NotFound; // duplicate key in stream: skip
+    ) -> Result<Reply, EngineError> {
+        if let Some(meta) = self.key_meta.get(&key) {
+            // Duplicate key in the stream. An erased key stays bound to
+            // its (dead) unit — re-collection is a retention question,
+            // not a constraint violation.
+            let unit = meta.unit;
+            return Err(match self.erased_since(unit) {
+                Some(since) => EngineError::RetentionExpired { key, since },
+                None => EngineError::Backend {
+                    detail: format!("key {key} already exists"),
+                },
+            });
         }
         let now = self.clock.now();
         let subject_e = self.actor_entity(Actor::Subject, metadata.subject);
@@ -482,8 +623,10 @@ impl CompliantDb {
         self.enforcer.register_unit(unit, &enforcer_policies);
         // Physical insert (encrypted per profile).
         let stored = self.encrypt_payload(unit, payload);
-        if self.backend.insert(key, unit.0, &stored).is_err() {
-            return OpResult::NotFound;
+        if let Err(e) = self.backend.insert(key, unit.0, &stored) {
+            return Err(EngineError::Backend {
+                detail: e.to_string(),
+            });
         }
         // Bookkeeping.
         self.key_meta.insert(
@@ -519,23 +662,26 @@ impl CompliantDb {
             "INSERT",
             payload,
         );
-        OpResult::Done
+        Ok(Reply::Done)
     }
 
-    fn op_read(&mut self, key: u64, actor: Actor) -> OpResult {
+    fn op_read(
+        &mut self,
+        key: u64,
+        actor: Actor,
+        declared: Option<PurposeId>,
+    ) -> Result<Reply, EngineError> {
         let Some(meta) = self.key_meta.get(&key).copied() else {
-            return OpResult::NotFound;
+            return Err(EngineError::NotFound { key });
         };
-        let purpose = match actor {
+        let purpose = declared.unwrap_or(match actor {
             Actor::Subject => wk::subject_access(),
             _ => meta.purpose,
-        };
+        });
         let entity = self.actor_entity(actor, meta.subject);
-        if !self.check(meta.unit, entity, purpose, ActionKind::Read) {
-            return OpResult::Denied;
-        }
+        self.check(meta.unit, entity, purpose, ActionKind::Read)?;
         let Some(stored) = self.backend.read(key, false) else {
-            return OpResult::NotFound;
+            return Err(self.gone(key, meta.unit));
         };
         let plain = self.decrypt_payload(meta.unit, stored);
         self.history.record(HistoryTuple {
@@ -546,24 +692,28 @@ impl CompliantDb {
             at: self.clock.now(),
         });
         self.log(Some(meta.unit), entity, purpose, "SELECT", &plain);
-        OpResult::Value(plain.len())
+        Ok(Reply::Value(plain.len()))
     }
 
-    fn op_update(&mut self, key: u64, payload: &[u8], actor: Actor) -> OpResult {
+    fn op_update(
+        &mut self,
+        key: u64,
+        payload: &[u8],
+        actor: Actor,
+        declared: Option<PurposeId>,
+    ) -> Result<Reply, EngineError> {
         let Some(meta) = self.key_meta.get(&key).copied() else {
-            return OpResult::NotFound;
+            return Err(EngineError::NotFound { key });
         };
-        let purpose = match actor {
+        let purpose = declared.unwrap_or(match actor {
             Actor::Subject => wk::subject_access(),
             _ => meta.purpose,
-        };
+        });
         let entity = self.actor_entity(actor, meta.subject);
-        if !self.check(meta.unit, entity, purpose, ActionKind::UpdateValue) {
-            return OpResult::Denied;
-        }
+        self.check(meta.unit, entity, purpose, ActionKind::UpdateValue)?;
         let stored = self.encrypt_payload(meta.unit, payload);
         if self.backend.update(key, &stored).is_err() {
-            return OpResult::NotFound;
+            return Err(self.gone(key, meta.unit));
         }
         let now = self.clock.now();
         if let Some(u) = self.state.unit_mut(meta.unit) {
@@ -577,17 +727,15 @@ impl CompliantDb {
             at: now,
         });
         self.log(Some(meta.unit), entity, purpose, "UPDATE", payload);
-        OpResult::Done
+        Ok(Reply::Done)
     }
 
-    fn op_delete(&mut self, key: u64, actor: Actor) -> OpResult {
+    fn op_delete(&mut self, key: u64, actor: Actor) -> Result<Reply, EngineError> {
         let Some(meta) = self.key_meta.get(&key).copied() else {
-            return OpResult::NotFound;
+            return Err(EngineError::NotFound { key });
         };
         let entity = self.actor_entity(actor, meta.subject);
-        if !self.check(meta.unit, entity, wk::compliance_erase(), ActionKind::Erase) {
-            return OpResult::Denied;
-        }
+        self.check(meta.unit, entity, wk::compliance_erase(), ActionKind::Erase)?;
         let (interp, ok) = match self.config.delete_strategy {
             DeleteStrategy::TombstoneAttribute => (
                 ErasureInterpretation::ReversiblyInaccessible,
@@ -599,7 +747,7 @@ impl CompliantDb {
             ),
         };
         if !ok {
-            return OpResult::NotFound;
+            return Err(self.gone(key, meta.unit));
         }
         let now = self.clock.now();
         let status = match interp {
@@ -613,6 +761,7 @@ impl CompliantDb {
             u.policies.revoke_all(now);
         }
         self.enforcer.revoke_all(meta.unit, now);
+        self.invalidate_decisions();
         if self.config.delete_logs_on_erase {
             self.logger.redact_unit(meta.unit);
         }
@@ -644,13 +793,13 @@ impl CompliantDb {
         if self.deletes_since_maintenance >= self.config.maintenance_every {
             self.run_maintenance();
         }
-        OpResult::Done
+        Ok(Reply::Done)
     }
 
     /// Run the delete strategy's periodic maintenance now, mapped to the
     /// backend's mechanics (heap: VACUUM / VACUUM FULL; LSM: flush /
     /// full compaction).
-    pub fn run_maintenance(&mut self) {
+    pub(crate) fn run_maintenance(&mut self) {
         self.deletes_since_maintenance = 0;
         match self.config.delete_strategy {
             DeleteStrategy::DeleteVacuum => {
@@ -663,25 +812,28 @@ impl CompliantDb {
         }
     }
 
-    fn op_read_meta(&mut self, key: u64, actor: Actor) -> OpResult {
+    fn op_read_meta(
+        &mut self,
+        key: u64,
+        actor: Actor,
+        declared: Option<PurposeId>,
+    ) -> Result<Reply, EngineError> {
         let Some(meta) = self.key_meta.get(&key).copied() else {
-            return OpResult::NotFound;
+            return Err(EngineError::NotFound { key });
         };
-        if self.unit_erased(meta.unit) {
+        if let Some(since) = self.erased_since(meta.unit) {
             // The record's metadata row went with the record.
-            return OpResult::NotFound;
+            return Err(EngineError::RetentionExpired { key, since });
         }
         let (entity, purpose) = match actor {
             Actor::Subject => (
                 self.actor_entity(Actor::Subject, meta.subject),
-                wk::subject_access(),
+                declared.unwrap_or(wk::subject_access()),
             ),
-            Actor::Controller => (self.controller, wk::contract()),
-            Actor::Processor => (self.processor, meta.purpose),
+            Actor::Controller => (self.controller, declared.unwrap_or(wk::contract())),
+            Actor::Processor => (self.processor, declared.unwrap_or(meta.purpose)),
         };
-        if !self.check(meta.unit, entity, purpose, ActionKind::ReadMeta) {
-            return OpResult::Denied;
-        }
+        self.check(meta.unit, entity, purpose, ActionKind::ReadMeta)?;
         // The metadata row itself: policies + provenance summary.
         let policies = self
             .state
@@ -707,20 +859,23 @@ impl CompliantDb {
             "SELECT-META",
             rendered.as_bytes(),
         );
-        OpResult::Value(rendered.len())
+        Ok(Reply::Value(rendered.len()))
     }
 
-    fn op_update_meta(&mut self, key: u64, field: MetaField, actor: Actor) -> OpResult {
+    fn op_update_meta(
+        &mut self,
+        key: u64,
+        field: MetaField,
+        actor: Actor,
+    ) -> Result<Reply, EngineError> {
         let Some(meta) = self.key_meta.get(&key).copied() else {
-            return OpResult::NotFound;
+            return Err(EngineError::NotFound { key });
         };
-        if self.unit_erased(meta.unit) {
-            return OpResult::NotFound;
+        if let Some(since) = self.erased_since(meta.unit) {
+            return Err(EngineError::RetentionExpired { key, since });
         }
         let entity = self.actor_entity(actor, meta.subject);
-        if !self.check(meta.unit, entity, wk::contract(), ActionKind::UpdatePolicy) {
-            return OpResult::Denied;
-        }
+        self.check(meta.unit, entity, wk::contract(), ActionKind::UpdatePolicy)?;
         let now = self.clock.now();
         // Apply the policy change to the model + enforcer.
         let new_policy = match field {
@@ -749,6 +904,7 @@ impl CompliantDb {
             u.policies.grant(new_policy, now);
         }
         self.enforcer.grant(meta.unit, new_policy);
+        self.invalidate_decisions();
         // The metadata-row update is a durable write like any other
         // statement (the paper: "such operations require more metadata
         // access and logging").
@@ -778,10 +934,14 @@ impl CompliantDb {
             "UPDATE-META+NOTIFY",
             format!("{field:?}").as_bytes(),
         );
-        OpResult::Done
+        Ok(Reply::Done)
     }
 
-    fn op_read_by_meta(&mut self, selector: MetaSelector) -> OpResult {
+    fn op_read_by_meta(
+        &mut self,
+        selector: MetaSelector,
+        declared: Option<PurposeId>,
+    ) -> Result<Reply, EngineError> {
         const SCAN_CAP: usize = 20;
         let keys: Vec<u64> = match selector {
             MetaSelector::ByPurpose(p) => self
@@ -805,15 +965,20 @@ impl CompliantDb {
                 continue;
             };
             // Processor reads each matching record under its collection
-            // purpose; enforcement is per-record (FGAC pays per tuple).
-            if !self.check(meta.unit, self.processor, meta.purpose, ActionKind::Read) {
+            // purpose (or the session's declared one); enforcement is
+            // per-record (FGAC pays per tuple).
+            let purpose = declared.unwrap_or(meta.purpose);
+            if self
+                .check(meta.unit, self.processor, purpose, ActionKind::Read)
+                .is_err()
+            {
                 continue;
             }
             if let Some(stored) = self.backend.read(key, false) {
                 let plain = self.decrypt_payload(meta.unit, stored);
                 self.history.record(HistoryTuple {
                     unit: meta.unit,
-                    purpose: meta.purpose,
+                    purpose,
                     entity: self.processor,
                     action: Action::Read,
                     at: self.clock.now(),
@@ -830,7 +995,7 @@ impl CompliantDb {
             "SELECT-BY-META",
             format!("{selector:?} rows={rows}").as_bytes(),
         );
-        OpResult::Rows(rows)
+        Ok(Reply::Rows(rows))
     }
 
     // ------------------------------------------------------------------
@@ -857,8 +1022,8 @@ impl CompliantDb {
         &self.state
     }
 
-    /// Mutable access to the abstract state (examples build scenarios).
-    pub fn state_mut(&mut self) -> &mut DatabaseState {
+    /// Mutable access to the abstract state (forensic guard / probes).
+    pub(crate) fn state_mut(&mut self) -> &mut DatabaseState {
         &mut self.state
     }
 
@@ -907,49 +1072,45 @@ impl CompliantDb {
         self.backend.stats()
     }
 
-    /// Direct backend access (erasure executor, benches).
-    pub fn backend_mut(&mut self) -> &mut dyn StorageBackend {
+    /// Direct backend access (erasure executor, forensic guard).
+    pub(crate) fn backend_mut(&mut self) -> &mut dyn StorageBackend {
         self.backend.as_mut()
     }
 
-    /// Direct backend access (read-only).
-    pub fn backend(&self) -> &dyn StorageBackend {
-        self.backend.as_ref()
-    }
-
-    /// The policy enforcer.
+    /// The policy enforcer (read-only).
     pub fn enforcer(&self) -> &dyn PolicyEnforcer {
         self.enforcer.as_ref()
     }
 
-    /// Mutable enforcer access.
-    pub fn enforcer_mut(&mut self) -> &mut dyn PolicyEnforcer {
+    /// Mutable enforcer access (erasure executor).
+    pub(crate) fn enforcer_mut(&mut self) -> &mut dyn PolicyEnforcer {
         self.enforcer.as_mut()
     }
 
-    /// The audit logger.
+    /// The audit logger (read-only).
     pub fn logger(&self) -> &dyn AuditLogger {
         self.logger.as_ref()
     }
 
-    /// Mutable logger access.
-    pub fn logger_mut(&mut self) -> &mut dyn AuditLogger {
+    /// Mutable logger access (erasure executor, forensic guard).
+    pub(crate) fn logger_mut(&mut self) -> &mut dyn AuditLogger {
         self.logger.as_mut()
     }
 
     /// The key vault, when tuple encryption is on.
-    pub fn vault_mut(&mut self) -> Option<&mut KeyVault> {
+    pub(crate) fn vault_mut(&mut self) -> Option<&mut KeyVault> {
         self.vault.as_mut()
     }
 
-    /// Record an externally produced history tuple (erasure executor).
-    pub fn record_history(&mut self, tuple: HistoryTuple) {
+    /// Record an externally produced history tuple (erasure executor,
+    /// violation injection via the forensic guard).
+    pub(crate) fn record_history(&mut self, tuple: HistoryTuple) {
         self.history.record(tuple);
     }
 
     /// Bind a heap key to a *derived* unit created through
-    /// [`DatabaseState::derive`], so erasure cascades can find its row.
-    pub fn bind_derived_key(&mut self, unit: UnitId, key: u64) {
+    /// `DatabaseState::derive`, so erasure cascades can find its row.
+    pub(crate) fn bind_derived_key(&mut self, unit: UnitId, key: u64) {
         self.key_meta.insert(
             key,
             KeyMeta {
@@ -965,7 +1126,7 @@ impl CompliantDb {
     /// Forensic scan of all persistent layers for `needle` (checkpoints
     /// the backend first so the scan sees buffered state — flushed pages
     /// on the heap, a flushed memtable on the LSM).
-    pub fn forensic(&mut self, needle: &[u8]) -> ForensicFindings {
+    pub(crate) fn forensic(&mut self, needle: &[u8]) -> ForensicFindings {
         self.backend.checkpoint();
         let mut findings = self.backend.scan_physical(needle);
         // The audit logs are a persistence layer too.
@@ -994,20 +1155,22 @@ impl CompliantDb {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::frontend::{Frontend, Request, Session};
     use datacase_workloads::gdprbench::{GdprBench, Mix};
+    use datacase_workloads::opstream::Op;
 
-    fn small_db(profile: ProfileKind) -> (CompliantDb, GdprBench) {
+    fn small_db(profile: ProfileKind) -> (Frontend, GdprBench) {
         let mut config = EngineConfig::for_profile(profile);
         config.maintenance_every = 50;
-        let db = CompliantDb::new(config);
+        let fe = Frontend::new(config);
         let bench = GdprBench::new(42, 50);
-        (db, bench)
+        (fe, bench)
     }
 
-    fn load(db: &mut CompliantDb, bench: &mut GdprBench, n: usize) {
-        for op in bench.load_phase(n) {
-            let r = db.execute(&op, Actor::Controller);
-            assert_eq!(r, OpResult::Done, "load op failed: {op:?}");
+    fn load(fe: &mut Frontend, bench: &mut GdprBench, n: usize) {
+        let controller = Session::new(Actor::Controller);
+        for r in fe.submit_ops(&controller, &bench.load_phase(n)) {
+            assert!(r.is_done(), "load op failed: {:?}", r.outcome);
         }
     }
 
@@ -1019,35 +1182,34 @@ mod tests {
             ProfileKind::PGBench,
             ProfileKind::PSys,
         ] {
-            let (mut db, mut bench) = small_db(profile);
-            load(&mut db, &mut bench, 100);
-            let r = db.execute(&Op::ReadData { key: 5 }, Actor::Processor);
-            assert!(
-                matches!(r, OpResult::Value(n) if n == 100),
-                "{profile:?}: {r:?}"
-            );
+            let (mut fe, mut bench) = small_db(profile);
+            load(&mut fe, &mut bench, 100);
+            let r = fe.run(&Session::new(Actor::Processor), Request::Read { key: 5 });
+            assert_eq!(r.value(), Some(100), "{profile:?}: {:?}", r.outcome);
         }
     }
 
     #[test]
     fn subject_reads_own_data() {
-        let (mut db, mut bench) = small_db(ProfileKind::PSys);
-        load(&mut db, &mut bench, 20);
-        let r = db.execute(&Op::ReadData { key: 3 }, Actor::Subject);
-        assert!(matches!(r, OpResult::Value(_)), "{r:?}");
+        let (mut fe, mut bench) = small_db(ProfileKind::PSys);
+        load(&mut fe, &mut bench, 20);
+        let r = fe.run(&Session::new(Actor::Subject), Request::Read { key: 3 });
+        assert!(r.value().is_some(), "{:?}", r.outcome);
     }
 
     #[test]
-    fn delete_then_read_not_found() {
-        let (mut db, mut bench) = small_db(ProfileKind::PBase);
-        load(&mut db, &mut bench, 20);
-        assert_eq!(
-            db.execute(&Op::DeleteData { key: 7 }, Actor::Subject),
-            OpResult::Done
-        );
-        assert_eq!(
-            db.execute(&Op::ReadData { key: 7 }, Actor::Processor),
-            OpResult::NotFound
+    fn delete_then_read_is_typed_gone() {
+        let (mut fe, mut bench) = small_db(ProfileKind::PBase);
+        load(&mut fe, &mut bench, 20);
+        assert!(fe
+            .run(&Session::new(Actor::Subject), Request::Delete { key: 7 })
+            .is_done());
+        let r = fe.run(&Session::new(Actor::Processor), Request::Read { key: 7 });
+        // P_Base enforces: the revoked policies deny before storage.
+        let e = r.err().expect("must fail");
+        assert!(
+            e.is_denied() || e.is_retention_expired(),
+            "post-delete read: {e:?}"
         );
     }
 
@@ -1057,16 +1219,17 @@ mod tests {
         // profiles (their policies were revoked with the erasure request);
         // everything else must be allowed.
         for profile in ProfileKind::PAPER {
-            let (mut db, mut bench) = small_db(profile);
-            load(&mut db, &mut bench, 200);
+            let (mut fe, mut bench) = small_db(profile);
+            load(&mut fe, &mut bench, 200);
             let ops = bench.ops(500, Mix::wcus());
+            let subject = Session::new(Actor::Subject);
             let mut deleted: std::collections::HashSet<u64> = Default::default();
             for op in &ops {
-                let r = db.execute(op, Actor::Subject);
-                if let datacase_workloads::opstream::Op::DeleteData { key } = op {
+                let r = fe.run(&subject, Request::from(op));
+                if let Op::DeleteData { key } = op {
                     deleted.insert(*key);
                 }
-                if r == OpResult::Denied {
+                if r.is_denied() {
                     let key = op.key().expect("denied ops are key-addressed");
                     assert!(
                         deleted.contains(&key),
@@ -1080,21 +1243,17 @@ mod tests {
     #[test]
     fn unauthorized_read_denied_on_enforcing_profiles() {
         for profile in [ProfileKind::PGBench, ProfileKind::PSys] {
-            let (mut db, mut bench) = small_db(profile);
-            load(&mut db, &mut bench, 10);
             // Delete revokes policies; subsequent processor read on the
             // tombstone-kept key is policy-denied before storage is hit.
             let mut cfg = EngineConfig::for_profile(profile);
             cfg.delete_strategy = DeleteStrategy::TombstoneAttribute;
-            let mut db2 = CompliantDb::new(cfg);
-            let mut bench2 = GdprBench::new(43, 20);
-            for op in bench2.load_phase(10) {
-                db2.execute(&op, Actor::Controller);
-            }
-            db2.execute(&Op::DeleteData { key: 2 }, Actor::Subject);
-            let r = db2.execute(&Op::ReadData { key: 2 }, Actor::Processor);
-            assert_eq!(r, OpResult::Denied, "{profile:?}");
-            assert!(db2.denied() > 0);
+            let mut fe = Frontend::new(cfg);
+            let mut bench = GdprBench::new(43, 20);
+            load(&mut fe, &mut bench, 10);
+            fe.run(&Session::new(Actor::Subject), Request::Delete { key: 2 });
+            let r = fe.run(&Session::new(Actor::Processor), Request::Read { key: 2 });
+            assert!(r.is_denied(), "{profile:?}: {:?}", r.outcome);
+            assert!(fe.denied() > 0);
         }
     }
 
@@ -1102,14 +1261,12 @@ mod tests {
     fn profiles_have_ordered_costs() {
         let mut times = Vec::new();
         for profile in ProfileKind::PAPER {
-            let (mut db, mut bench) = small_db(profile);
-            load(&mut db, &mut bench, 300);
+            let (mut fe, mut bench) = small_db(profile);
+            load(&mut fe, &mut bench, 300);
             let ops = bench.ops(600, Mix::wcus());
-            let t0 = db.clock().now();
-            for op in &ops {
-                db.execute(op, Actor::Subject);
-            }
-            times.push((profile, db.clock().now().since(t0)));
+            let t0 = fe.clock().now();
+            fe.submit_ops(&Session::new(Actor::Subject), &ops);
+            times.push((profile, fe.clock().now().since(t0)));
         }
         assert!(
             times[0].1 < times[1].1 && times[1].1 < times[2].1,
@@ -1119,13 +1276,11 @@ mod tests {
 
     #[test]
     fn compliance_report_is_clean_after_legitimate_run() {
-        let (mut db, mut bench) = small_db(ProfileKind::PSys);
-        load(&mut db, &mut bench, 50);
+        let (mut fe, mut bench) = small_db(ProfileKind::PSys);
+        load(&mut fe, &mut bench, 50);
         let ops = bench.ops(100, Mix::wcus());
-        for op in &ops {
-            db.execute(op, Actor::Subject);
-        }
-        let report = db.compliance_report(&Regulation::gdpr());
+        fe.submit_ops(&Session::new(Actor::Subject), &ops);
+        let report = fe.compliance_report(&Regulation::gdpr());
         assert!(
             report.is_compliant(),
             "violations: {:?}",
@@ -1135,9 +1290,9 @@ mod tests {
 
     #[test]
     fn stock_profile_fails_design_security() {
-        let (mut db, mut bench) = small_db(ProfileKind::Stock);
-        load(&mut db, &mut bench, 10);
-        let report = db.compliance_report(&Regulation::gdpr());
+        let (mut fe, mut bench) = small_db(ProfileKind::Stock);
+        load(&mut fe, &mut bench, 10);
+        let report = fe.compliance_report(&Regulation::gdpr());
         assert!(
             !report.of_invariant("VI").is_empty(),
             "no encryption at rest"
@@ -1148,18 +1303,16 @@ mod tests {
     fn forensic_finds_deleted_data_under_delete_only() {
         let mut config = EngineConfig::stock(DeleteStrategy::DeleteOnly);
         config.maintenance_every = u64::MAX;
-        let mut db = CompliantDb::new(config);
+        let mut fe = Frontend::new(config);
         let mut bench = GdprBench::new(9, 10);
-        for op in bench.load_phase(10) {
-            db.execute(&op, Actor::Controller);
-        }
+        load(&mut fe, &mut bench, 10);
         // Grab the payload of key 4 for the needle.
         let needle = {
-            let stored = db.backend_mut().read(4, true).unwrap();
+            let stored = fe.forensic().raw_read(4, true).unwrap();
             stored[..20].to_vec()
         };
-        db.execute(&Op::DeleteData { key: 4 }, Actor::Controller);
-        let f = db.forensic(&needle);
+        fe.run(&Session::new(Actor::Controller), Request::Delete { key: 4 });
+        let f = fe.forensic().scan(&needle);
         assert!(f.online(), "DELETE leaves residuals: {}", f.describe());
     }
 
@@ -1173,22 +1326,19 @@ mod tests {
         ] {
             let mut config = EngineConfig::for_profile(profile).with_backend(BackendKind::Lsm);
             config.maintenance_every = 50;
-            let mut db = CompliantDb::new(config);
+            let mut fe = Frontend::new(config);
             let mut bench = GdprBench::new(42, 50);
-            load(&mut db, &mut bench, 100);
-            let r = db.execute(&Op::ReadData { key: 5 }, Actor::Processor);
+            load(&mut fe, &mut bench, 100);
+            let r = fe.run(&Session::new(Actor::Processor), Request::Read { key: 5 });
+            assert_eq!(r.value(), Some(100), "{profile:?}/lsm: {:?}", r.outcome);
+            assert!(fe
+                .run(&Session::new(Actor::Subject), Request::Delete { key: 5 })
+                .is_done());
+            let r = fe.run(&Session::new(Actor::Processor), Request::Read { key: 5 });
+            let e = r.err().expect("post-delete read must fail");
             assert!(
-                matches!(r, OpResult::Value(n) if n == 100),
-                "{profile:?}/lsm: {r:?}"
-            );
-            assert_eq!(
-                db.execute(&Op::DeleteData { key: 5 }, Actor::Subject),
-                OpResult::Done
-            );
-            let r = db.execute(&Op::ReadData { key: 5 }, Actor::Processor);
-            assert!(
-                matches!(r, OpResult::NotFound | OpResult::Denied),
-                "{profile:?}/lsm post-delete: {r:?}"
+                e.is_denied() || e.is_retention_expired(),
+                "{profile:?}/lsm post-delete: {e:?}"
             );
         }
     }
@@ -1198,50 +1348,48 @@ mod tests {
         let mut config =
             EngineConfig::stock(DeleteStrategy::TombstoneAttribute).with_backend(BackendKind::Lsm);
         config.maintenance_every = u64::MAX;
-        let mut db = CompliantDb::new(config);
+        let mut fe = Frontend::new(config);
         let mut bench = GdprBench::new(8, 20);
-        load(&mut db, &mut bench, 10);
-        assert_eq!(
-            db.execute(&Op::DeleteData { key: 3 }, Actor::Controller),
-            OpResult::Done
-        );
-        assert_eq!(
-            db.execute(&Op::ReadData { key: 3 }, Actor::Processor),
-            OpResult::NotFound
+        load(&mut fe, &mut bench, 10);
+        assert!(fe
+            .run(&Session::new(Actor::Controller), Request::Delete { key: 3 })
+            .is_done());
+        let r = fe.run(&Session::new(Actor::Processor), Request::Read { key: 3 });
+        assert!(
+            r.err().is_some_and(EngineError::is_retention_expired),
+            "{:?}",
+            r.outcome
         );
         // The hidden version is still there for the controller view.
-        assert!(db.backend_mut().read(3, true).is_some());
+        assert!(fe.forensic().raw_read(3, true).is_some());
     }
 
     #[test]
     fn meta_scan_returns_rows() {
-        let (mut db, mut bench) = small_db(ProfileKind::PBase);
-        load(&mut db, &mut bench, 200);
-        let r = db.execute(
-            &Op::ReadByMetadata {
+        let (mut fe, mut bench) = small_db(ProfileKind::PBase);
+        load(&mut fe, &mut bench, 200);
+        let r = fe.run(
+            &Session::new(Actor::Processor),
+            Request::ReadByMeta {
                 selector: MetaSelector::BySubject(3),
             },
-            Actor::Processor,
         );
-        match r {
-            OpResult::Rows(_) => {}
-            other => panic!("expected rows, got {other:?}"),
-        }
+        assert!(r.rows().is_some(), "expected rows, got {:?}", r.outcome);
     }
 
     #[test]
     fn update_meta_records_policy_change_and_notify() {
-        let (mut db, mut bench) = small_db(ProfileKind::PBase);
-        load(&mut db, &mut bench, 10);
-        db.execute(
-            &Op::UpdateMeta {
+        let (mut fe, mut bench) = small_db(ProfileKind::PBase);
+        load(&mut fe, &mut bench, 10);
+        fe.run(
+            &Session::new(Actor::Controller),
+            Request::UpdateMeta {
                 key: 1,
                 field: MetaField::Ttl,
             },
-            Actor::Controller,
         );
-        let unit = db.unit_of_key(1).unwrap();
-        let tuples = db.history().of_unit(unit);
+        let unit = fe.unit_of_key(1).unwrap();
+        let tuples = fe.history().of_unit(unit);
         assert!(tuples
             .iter()
             .any(|t| t.action.kind() == ActionKind::UpdatePolicy));

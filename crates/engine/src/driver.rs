@@ -1,26 +1,40 @@
-//! Workload drivers: sequential runs (the paper's completion-time metric)
-//! and a sharded multi-client mode (scoped threads) for scalability
-//! ablations.
+//! Workload drivers: batch-first sequential runs (the paper's
+//! completion-time metric) and a sharded multi-client mode (scoped
+//! threads) for scalability ablations, including heterogeneous per-shard
+//! storage backends.
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use datacase_sim::time::Dur;
 use datacase_sim::{Meter, MeterSnapshot, SimClock};
+use datacase_storage::backend::BackendKind;
 use datacase_workloads::opstream::Op;
 
-use crate::db::{Actor, CompliantDb, OpResult};
+use crate::db::Actor;
+use crate::error::EngineError;
+use crate::frontend::{Frontend, Response, Session};
 use crate::profiles::EngineConfig;
 
-/// Statistics of one workload run.
+/// Default number of requests per submitted batch in the drivers.
+pub const DEFAULT_BATCH: usize = 64;
+
+/// Statistics of one workload run, tallied from the typed
+/// [`EngineError`] taxonomy (not sentinel reply values).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct RunStats {
     /// Operations executed.
     pub ops: usize,
-    /// Operations denied by policy enforcement.
+    /// Operations denied by policy enforcement ([`EngineError::Denied`]).
     pub denied: usize,
-    /// Operations targeting missing keys.
+    /// Operations targeting keys that never existed
+    /// ([`EngineError::NotFound`]).
     pub not_found: usize,
+    /// Operations targeting erased records
+    /// ([`EngineError::RetentionExpired`]).
+    pub expired: usize,
+    /// Operations failed by the substrate ([`EngineError::Backend`]).
+    pub failed: usize,
     /// Simulated completion time.
     pub simulated: Dur,
     /// Wall-clock time of the run (host-side, for criterion context).
@@ -39,30 +53,52 @@ impl RunStats {
             self.ops as f64 / secs
         }
     }
-}
 
-/// Run `ops` sequentially on `db` as `actor`, returning completion stats.
-pub fn run_ops(db: &mut CompliantDb, ops: &[Op], actor: Actor) -> RunStats {
-    let sim_start = db.clock().now();
-    let meter_start = db.meter().snapshot();
-    let wall_start = Instant::now();
-    let mut denied = 0usize;
-    let mut not_found = 0usize;
-    for op in ops {
-        match db.execute(op, actor) {
-            OpResult::Denied => denied += 1,
-            OpResult::NotFound => not_found += 1,
-            _ => {}
+    /// Fold one response's outcome into the error tallies.
+    fn tally(&mut self, response: &Response) {
+        match &response.outcome {
+            Ok(_) => {}
+            Err(EngineError::Denied { .. }) => self.denied += 1,
+            Err(EngineError::NotFound { .. }) => self.not_found += 1,
+            Err(EngineError::RetentionExpired { .. }) => self.expired += 1,
+            Err(EngineError::Backend { .. }) => self.failed += 1,
         }
     }
-    RunStats {
+}
+
+/// Run `ops` on `frontend` as `actor` in batches of [`DEFAULT_BATCH`],
+/// returning completion stats.
+pub fn run_ops(frontend: &mut Frontend, ops: &[Op], actor: Actor) -> RunStats {
+    run_ops_batched(frontend, ops, actor, DEFAULT_BATCH)
+}
+
+/// [`run_ops`] with an explicit batch size. Batch size never changes
+/// results (the `prop_frontend` parity suite holds the engine to that);
+/// it only changes how many submissions cross the frontend boundary.
+pub fn run_ops_batched(
+    frontend: &mut Frontend,
+    ops: &[Op],
+    actor: Actor,
+    batch_size: usize,
+) -> RunStats {
+    let batch_size = batch_size.max(1);
+    let session = Session::new(actor);
+    let sim_start = frontend.clock().now();
+    let meter_start = frontend.meter().snapshot();
+    let wall_start = Instant::now();
+    let mut stats = RunStats {
         ops: ops.len(),
-        denied,
-        not_found,
-        simulated: db.clock().now().since(sim_start),
-        wall: wall_start.elapsed(),
-        work: db.meter().snapshot().diff(&meter_start),
+        ..RunStats::default()
+    };
+    for chunk in ops.chunks(batch_size) {
+        for response in frontend.submit_ops(&session, chunk) {
+            stats.tally(&response);
+        }
     }
+    stats.simulated = frontend.clock().now().since(sim_start);
+    stats.wall = wall_start.elapsed();
+    stats.work = frontend.meter().snapshot().diff(&meter_start);
+    stats
 }
 
 /// Results of a sharded run: per-shard stats plus the work counters
@@ -90,12 +126,43 @@ impl ShardedRun {
     }
 }
 
-/// Sharded multi-client run: keys are hash-partitioned over `shards`
-/// independent engine instances executing in parallel threads; completion
-/// time is the slowest shard's simulated time (a barrier at the end, as in
-/// multi-client YCSB runs). Every shard is built through
-/// [`CompliantDb::with_clock`] on its own clock but one shared [`Meter`],
-/// so the run's total work is aggregated in [`ShardedRun::work`].
+/// Per-shard execution plan for [`sharded_run_plan`]: which storage
+/// substrate each shard runs on (heap and LSM shards can serve one job —
+/// a hot tier next to a capacity tier), and how requests are batched.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// One [`BackendKind`] per shard; the vector's length is the shard
+    /// count.
+    pub backends: Vec<BackendKind>,
+    /// Requests per submitted batch on every shard.
+    pub batch: usize,
+}
+
+impl ShardPlan {
+    /// A homogeneous plan: `shards` shards, all on `backend`.
+    pub fn uniform(backend: BackendKind, shards: usize) -> ShardPlan {
+        ShardPlan {
+            backends: vec![backend; shards],
+            batch: DEFAULT_BATCH,
+        }
+    }
+
+    /// A heterogeneous plan from an explicit backend list.
+    pub fn of(backends: &[BackendKind]) -> ShardPlan {
+        ShardPlan {
+            backends: backends.to_vec(),
+            batch: DEFAULT_BATCH,
+        }
+    }
+
+    /// Number of shards in the plan.
+    pub fn shards(&self) -> usize {
+        self.backends.len()
+    }
+}
+
+/// Sharded multi-client run on a homogeneous plan: all shards use
+/// `config.backend`. See [`sharded_run_plan`] for heterogeneous tiers.
 pub fn sharded_run(
     config: &EngineConfig,
     load: &[Op],
@@ -103,7 +170,31 @@ pub fn sharded_run(
     actor: Actor,
     shards: usize,
 ) -> ShardedRun {
-    assert!(shards > 0);
+    sharded_run_plan(
+        config,
+        load,
+        txns,
+        actor,
+        &ShardPlan::uniform(config.backend, shards),
+    )
+}
+
+/// Sharded multi-client run: keys are hash-partitioned over the plan's
+/// shards — independent frontends executing in parallel threads, each
+/// over the substrate its [`ShardPlan`] slot names; completion time is
+/// the slowest shard's simulated time (a barrier at the end, as in
+/// multi-client YCSB runs). Every shard is built through
+/// [`Frontend::with_clock`] on its own clock but one shared [`Meter`],
+/// so the run's total work is aggregated in [`ShardedRun::work`].
+pub fn sharded_run_plan(
+    config: &EngineConfig,
+    load: &[Op],
+    txns: &[Op],
+    actor: Actor,
+    plan: &ShardPlan,
+) -> ShardedRun {
+    let shards = plan.shards();
+    assert!(shards > 0, "a shard plan needs at least one shard");
     let meter = Arc::new(Meter::new());
     let shard_of = |op: &Op, i: usize| -> usize {
         match op.key() {
@@ -125,17 +216,20 @@ pub fn sharded_run(
         let handles: Vec<_> = load_parts
             .into_iter()
             .zip(txn_parts)
-            .map(|(load_ops, txn_ops)| {
-                let cfg = config.clone();
+            .zip(&plan.backends)
+            .map(|((load_ops, txn_ops), &backend)| {
+                let cfg = config.clone().with_backend(backend);
                 let shard_meter = meter.clone();
+                let batch = plan.batch;
                 scope.spawn(move || {
                     // Own clock (shards progress independently), shared
                     // meter (work aggregates across the fleet).
-                    let mut db = CompliantDb::with_clock(cfg, SimClock::commodity(), shard_meter);
-                    for op in &load_ops {
-                        db.execute(op, Actor::Controller);
+                    let mut fe = Frontend::with_clock(cfg, SimClock::commodity(), shard_meter);
+                    let controller = Session::new(Actor::Controller);
+                    for chunk in load_ops.chunks(batch.max(1)) {
+                        fe.submit_ops(&controller, chunk);
                     }
-                    run_ops(&mut db, &txn_ops, actor)
+                    run_ops_batched(&mut fe, &txn_ops, actor, batch)
                 })
             })
             .collect();
@@ -163,15 +257,35 @@ mod tests {
 
     #[test]
     fn run_ops_reports_stats() {
-        let mut db = CompliantDb::new(EngineConfig::for_profile(ProfileKind::PBase));
+        let mut fe = Frontend::new(EngineConfig::for_profile(ProfileKind::PBase));
         let mut bench = GdprBench::new(1, 50);
         let load = bench.load_phase(100);
-        let stats = run_ops(&mut db, &load, Actor::Controller);
+        let stats = run_ops(&mut fe, &load, Actor::Controller);
         assert_eq!(stats.ops, 100);
         assert_eq!(stats.denied, 0);
+        assert_eq!(stats.failed, 0);
         assert!(stats.simulated > Dur::ZERO);
         assert!(stats.work.log_records >= 100);
         assert!(stats.sim_ops_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn batch_size_does_not_change_results() {
+        let run = |batch: usize| {
+            let mut fe = Frontend::new(EngineConfig::for_profile(ProfileKind::PBase));
+            let mut bench = GdprBench::new(4, 50);
+            let load = bench.load_phase(150);
+            run_ops_batched(&mut fe, &load, Actor::Controller, batch);
+            let txns = bench.ops(200, Mix::wcus());
+            run_ops_batched(&mut fe, &txns, Actor::Subject, batch)
+        };
+        let a = run(1);
+        let b = run(128);
+        assert_eq!(a.denied, b.denied);
+        assert_eq!(a.not_found, b.not_found);
+        assert_eq!(a.expired, b.expired);
+        assert_eq!(a.simulated, b.simulated);
+        assert_eq!(a.work, b.work);
     }
 
     #[test]
@@ -217,5 +331,32 @@ mod tests {
             par.completion(),
             seq.completion()
         );
+    }
+
+    #[test]
+    fn mixed_backend_plan_runs_heap_and_lsm_shards_together() {
+        let config = EngineConfig::for_profile(ProfileKind::PBase);
+        let mut bench = GdprBench::new(11, 50);
+        let load = bench.load_phase(200);
+        let txns = bench.ops(200, Mix::wcus());
+        let plan = ShardPlan::of(&[
+            BackendKind::Heap,
+            BackendKind::Lsm,
+            BackendKind::Heap,
+            BackendKind::Lsm,
+        ]);
+        let run = sharded_run_plan(&config, &load, &txns, Actor::Subject, &plan);
+        assert_eq!(run.shards.len(), 4);
+        assert_eq!(run.total_ops(), 200);
+        // Backend parity: heterogeneous substrates agree on enforcement
+        // outcomes for the same key partition — compare against an
+        // all-heap run of the same partitioning.
+        let uniform = sharded_run(&config, &load, &txns, Actor::Subject, 4);
+        for (mixed, heap) in run.shards.iter().zip(&uniform.shards) {
+            assert_eq!(mixed.ops, heap.ops);
+            assert_eq!(mixed.denied, heap.denied);
+            assert_eq!(mixed.not_found, heap.not_found);
+            assert_eq!(mixed.expired, heap.expired);
+        }
     }
 }

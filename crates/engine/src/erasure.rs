@@ -3,12 +3,17 @@
 //! path's periodic maintenance).
 //!
 //! This is step ③ of Figure 2 made concrete: each
-//! [`ErasureInterpretation`] maps to a [`StorageBackend`] plan of Table 1
-//! — heap mechanics (hide / DELETE+VACUUM / VACUUM FULL / WAL scrub +
-//! sanitise) or LSM mechanics (flagged version / tombstone+flush /
+//! [`ErasureInterpretation`] maps to a
+//! [`StorageBackend`](datacase_storage::backend::StorageBackend) plan of
+//! Table 1 — heap mechanics (hide / DELETE+VACUUM / VACUUM FULL / WAL
+//! scrub + sanitise) or LSM mechanics (flagged version / tombstone+flush /
 //! compaction / run purge) — and after execution the [`probe`] verifies
 //! the IR / II / Inv properties *empirically* against the forensic
 //! scanner and the provenance graph, on either backend.
+//!
+//! The executor itself is crate-internal: callers reach it through
+//! [`Request::Erase`](crate::frontend::Request::Erase) and
+//! [`Request::Restore`](crate::frontend::Request::Restore) on a session.
 
 use datacase_core::action::Action;
 use datacase_core::grounding::erasure::ErasureInterpretation;
@@ -23,10 +28,18 @@ use datacase_storage::lsm::LsmTree;
 use crate::db::CompliantDb;
 
 /// Execute the full system-action plan for `interp` on the unit stored at
-/// `key`, immediately (right-to-erasure handling, Table 1 row).
+/// `key`, immediately (right-to-erasure handling, Table 1 row). The
+/// erase is attributed to `entity` in the action history — the actor the
+/// frontend authenticated (or the controller, for sweeper-initiated
+/// retention erasure).
 ///
 /// Returns false if the key is unknown.
-pub fn erase_now(db: &mut CompliantDb, key: u64, interp: ErasureInterpretation) -> bool {
+pub(crate) fn erase_now(
+    db: &mut CompliantDb,
+    key: u64,
+    interp: ErasureInterpretation,
+    entity: datacase_core::ids::EntityId,
+) -> bool {
     let Some(unit) = db.unit_of_key(key) else {
         return false;
     };
@@ -127,11 +140,12 @@ pub fn erase_now(db: &mut CompliantDb, key: u64, interp: ErasureInterpretation) 
         u.policies.revoke_all(at);
     }
     db.enforcer_mut().revoke_all(unit, at);
+    db.invalidate_decisions();
     db.state_mut().mark_erased(unit, status, at);
     db.record_history(HistoryTuple {
         unit,
         purpose: wk::compliance_erase(),
-        entity: controller,
+        entity,
         action: Action::Erase(interp),
         at,
     });
@@ -140,7 +154,7 @@ pub fn erase_now(db: &mut CompliantDb, key: u64, interp: ErasureInterpretation) 
         db.record_history(HistoryTuple {
             unit,
             purpose: wk::compliance_erase(),
-            entity: controller,
+            entity,
             action: Action::Sanitize,
             at: at2,
         });
@@ -151,7 +165,7 @@ pub fn erase_now(db: &mut CompliantDb, key: u64, interp: ErasureInterpretation) 
 /// Restore a reversibly-inaccessible unit (the inverse action that makes
 /// the interpretation *invertible* in Table 1). Returns false if the unit
 /// is not in the reversible state.
-pub fn restore_now(db: &mut CompliantDb, key: u64) -> bool {
+pub(crate) fn restore_now(db: &mut CompliantDb, key: u64) -> bool {
     let Some(unit) = db.unit_of_key(key) else {
         return false;
     };
@@ -200,13 +214,15 @@ pub fn probe(interp: ErasureInterpretation) -> PropertyProbe {
 /// grounded properties hold *independently of the underlying system*,
 /// measured per backend.
 pub fn probe_on(backend: BackendKind, interp: ErasureInterpretation) -> PropertyProbe {
-    use datacase_workloads::opstream::Op;
+    use crate::db::Actor;
+    use crate::frontend::{Frontend, Reply, Request, Session};
     use datacase_workloads::record::GdprMetadata;
 
     let mut config = crate::profiles::EngineConfig::p_sys().with_backend(backend);
     config.tuple_encryption = None; // stock-engine-like storage for the probe
     config.delete_logs_on_erase = false;
-    let mut db = CompliantDb::new(config);
+    let mut fe = Frontend::new(config);
+    let controller = Session::new(Actor::Controller);
 
     let payload = b"PROBE-SENSITIVE-PAYLOAD-0001".to_vec();
     let meta = GdprMetadata {
@@ -216,78 +232,85 @@ pub fn probe_on(backend: BackendKind, interp: ErasureInterpretation) -> Property
         origin_device: 0,
         objects_to_sharing: false,
     };
-    let create = Op::Create {
-        key: 1,
-        payload: payload.clone(),
-        metadata: meta,
-    };
-    assert_eq!(
-        db.execute(&create, crate::db::Actor::Controller),
-        crate::db::OpResult::Done
-    );
-    let unit = db.unit_of_key(1).expect("created");
+    assert!(fe
+        .run(
+            &controller,
+            Request::Create {
+                key: 1,
+                payload: payload.clone(),
+                metadata: meta,
+            },
+        )
+        .is_done());
+    let unit = fe.unit_of_key(1).expect("created");
+    let processor_entity = fe.db().processor();
 
     // Derived identifying, invertible copy (e.g. an analytics mirror).
-    let now = db.clock().now();
-    let derived = db.state_mut().derive(
-        &[unit],
-        "mirror-copy",
-        true,
-        true,
-        datacase_core::value::Value::Bytes(payload.clone()),
-        now,
-    );
-    let derived_key = 2u64;
-    db.backend_mut()
-        .insert(derived_key, derived.0, &payload)
-        .expect("derived insert");
-    db.bind_derived_key(derived, derived_key);
-    db.record_history(HistoryTuple {
+    let derived = fe
+        .forensic()
+        .plant_derived(&[unit], "mirror-copy", true, true, &payload, 2);
+    let now = fe.clock().now();
+    fe.forensic().inject_history(HistoryTuple {
         unit,
         purpose: wk::analytics(),
-        entity: db.processor(),
+        entity: processor_entity,
         action: Action::Derive { output: derived },
         at: now,
     });
 
     let mut notes = Vec::new();
-    assert!(erase_now(&mut db, 1, interp), "erasure must execute");
+    assert!(
+        fe.run(
+            &controller,
+            Request::Erase {
+                key: 1,
+                interpretation: interp,
+            },
+        )
+        .outcome
+        .is_ok(),
+        "erasure must execute"
+    );
 
     // IR: read attempts with all policies revoked.
-    let read_as_processor = db.execute(&Op::ReadData { key: 1 }, crate::db::Actor::Processor);
-    let read_as_subject = db.execute(&Op::ReadData { key: 1 }, crate::db::Actor::Subject);
-    let illegal_read = matches!(
-        (&read_as_processor, &read_as_subject),
-        (crate::db::OpResult::Value(_), _) | (_, crate::db::OpResult::Value(_))
-    );
+    let read_as_processor = fe
+        .run(&Session::new(Actor::Processor), Request::Read { key: 1 })
+        .outcome;
+    let read_as_subject = fe
+        .run(&Session::new(Actor::Subject), Request::Read { key: 1 })
+        .outcome;
+    let illegal_read = matches!(read_as_processor, Ok(Reply::Value(_)))
+        || matches!(read_as_subject, Ok(Reply::Value(_)));
     notes.push(format!(
         "post-erase reads: processor={read_as_processor:?} subject={read_as_subject:?}"
     ));
 
     // II: model-level reconstruction from surviving dependent data.
-    let alive: Vec<UnitId> = db
+    let alive: Vec<UnitId> = fe
         .state()
         .units()
         .filter(|u| !u.erasure.is_erased())
         .map(|u| u.id)
         .collect();
     let alive_fn = move |u: UnitId| alive.contains(&u);
-    let illegal_inference = db.state().provenance().reconstructable(unit, &alive_fn)
-        || db
+    let illegal_inference = fe.state().provenance().reconstructable(unit, &alive_fn)
+        || fe
             .state()
             .unit(unit)
             .map(|u| u.erasure.rank() <= 1)
             .unwrap_or(false);
-    let residuals = db.forensic(b"PROBE-SENSITIVE-PAYLOAD-0001");
+    let residuals = fe.forensic().scan(b"PROBE-SENSITIVE-PAYLOAD-0001");
     notes.push(format!("forensic: {}", residuals.describe()));
 
     // Inv: does restore bring it back?
-    let invertible = restore_now(&mut db, 1)
+    let restored = fe.run(&controller, Request::Restore { key: 1 }).outcome;
+    let invertible = restored.is_ok()
         && matches!(
-            db.execute(&Op::ReadData { key: 1 }, crate::db::Actor::Subject),
-            crate::db::OpResult::Value(_) | crate::db::OpResult::Denied
+            fe.run(&Session::new(Actor::Subject), Request::Read { key: 1 })
+                .outcome,
+            Ok(Reply::Value(_)) | Err(crate::error::EngineError::Denied { .. })
         )
-        && db
+        && fe
             .state()
             .unit(unit)
             .map(|u| !u.erasure.is_erased())
@@ -355,7 +378,22 @@ pub fn lsm_erase(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::db::Actor;
+    use crate::frontend::{Frontend, Request, Session};
     use datacase_core::grounding::properties::ErasureProperties;
+    use datacase_workloads::record::GdprMetadata;
+
+    fn erase(fe: &mut Frontend, key: u64, interp: ErasureInterpretation) -> bool {
+        fe.run(
+            &Session::new(Actor::Controller),
+            Request::Erase {
+                key,
+                interpretation: interp,
+            },
+        )
+        .outcome
+        .is_ok()
+    }
 
     #[test]
     fn probes_match_table_1_expected_matrix_on_both_backends() {
@@ -376,103 +414,98 @@ mod tests {
     fn permanent_delete_clears_all_forensic_layers() {
         let mut config = crate::profiles::EngineConfig::p_sys();
         config.tuple_encryption = None;
-        let mut db = CompliantDb::new(config);
-        let meta = datacase_workloads::record::GdprMetadata {
+        let mut fe = Frontend::new(config);
+        let meta = GdprMetadata {
             subject: 1,
             purpose: wk::smart_space(),
             ttl: datacase_sim::time::Ts::from_secs(1_000_000),
             origin_device: 0,
             objects_to_sharing: false,
         };
-        db.execute(
-            &datacase_workloads::opstream::Op::Create {
+        fe.run(
+            &Session::new(Actor::Controller),
+            Request::Create {
                 key: 9,
                 payload: b"PERMANENT-TARGET-XYZ".to_vec(),
                 metadata: meta,
             },
-            crate::db::Actor::Controller,
         );
-        assert!(erase_now(
-            &mut db,
-            9,
-            ErasureInterpretation::PermanentlyDeleted
-        ));
-        let f = db.forensic(b"PERMANENT-TARGET-XYZ");
+        assert!(erase(&mut fe, 9, ErasureInterpretation::PermanentlyDeleted));
+        let f = fe.forensic().scan(b"PERMANENT-TARGET-XYZ");
         assert!(!f.any(), "residuals: {}", f.describe());
     }
 
     #[test]
     fn reversible_then_restore_roundtrip() {
-        let mut db = CompliantDb::new(crate::profiles::EngineConfig::p_base());
-        let meta = datacase_workloads::record::GdprMetadata {
+        let mut fe = Frontend::new(crate::profiles::EngineConfig::p_base());
+        let meta = GdprMetadata {
             subject: 2,
             purpose: wk::billing(),
             ttl: datacase_sim::time::Ts::from_secs(1_000_000),
             origin_device: 0,
             objects_to_sharing: false,
         };
-        db.execute(
-            &datacase_workloads::opstream::Op::Create {
+        fe.run(
+            &Session::new(Actor::Controller),
+            Request::Create {
                 key: 3,
                 payload: vec![1, 2, 3],
                 metadata: meta,
             },
-            crate::db::Actor::Controller,
         );
-        assert!(erase_now(
-            &mut db,
+        assert!(erase(
+            &mut fe,
             3,
             ErasureInterpretation::ReversiblyInaccessible
         ));
-        assert!(restore_now(&mut db, 3));
-        assert!(!restore_now(&mut db, 3), "already restored");
+        let controller = Session::new(Actor::Controller);
+        assert!(fe
+            .run(&controller, Request::Restore { key: 3 })
+            .outcome
+            .is_ok());
+        assert!(
+            fe.run(&controller, Request::Restore { key: 3 })
+                .outcome
+                .is_err(),
+            "already restored"
+        );
     }
 
     #[test]
     fn strong_delete_cascades_to_identifying_derived() {
         let mut config = crate::profiles::EngineConfig::p_sys();
         config.tuple_encryption = None;
-        let mut db = CompliantDb::new(config);
-        let meta = datacase_workloads::record::GdprMetadata {
+        let mut fe = Frontend::new(config);
+        let meta = GdprMetadata {
             subject: 5,
             purpose: wk::analytics(),
             ttl: datacase_sim::time::Ts::from_secs(1_000_000),
             origin_device: 0,
             objects_to_sharing: false,
         };
-        db.execute(
-            &datacase_workloads::opstream::Op::Create {
+        fe.run(
+            &Session::new(Actor::Controller),
+            Request::Create {
                 key: 1,
                 payload: b"base-data".to_vec(),
                 metadata: meta,
             },
-            crate::db::Actor::Controller,
         );
-        let unit = db.unit_of_key(1).unwrap();
-        let now = db.clock().now();
-        let derived = db.state_mut().derive(
-            &[unit],
-            "copy",
-            true,
-            true,
-            datacase_core::value::Value::Bytes(b"base-data".to_vec()),
-            now,
-        );
-        db.backend_mut()
-            .insert(50, derived.0, b"base-data")
-            .unwrap();
-        db.bind_derived_key(derived, 50);
-        assert!(erase_now(
-            &mut db,
-            1,
-            ErasureInterpretation::StronglyDeleted
-        ));
-        assert!(db
+        let unit = fe.unit_of_key(1).unwrap();
+        let derived = fe
+            .forensic()
+            .plant_derived(&[unit], "copy", true, true, b"base-data", 50);
+        assert!(erase(&mut fe, 1, ErasureInterpretation::StronglyDeleted));
+        assert!(fe
             .state()
             .unit(derived)
             .map(|u| u.erasure.is_erased())
             .unwrap());
-        assert_eq!(db.backend_mut().read(50, true), None, "derived row deleted");
+        assert_eq!(
+            fe.forensic().raw_read(50, true),
+            None,
+            "derived row deleted"
+        );
     }
 
     #[test]

@@ -1,0 +1,120 @@
+#![deny(missing_docs)]
+//! The engine frontend's error taxonomy.
+//!
+//! The legacy `OpResult` folded every non-success outcome into sentinel
+//! enum values (`Denied`, `NotFound`), so callers could not tell a policy
+//! denial from a missing key from an erased record from a substrate
+//! failure. [`EngineError`] separates the four:
+//!
+//! | variant | meaning | typical cause |
+//! |---|---|---|
+//! | [`EngineError::Denied`] | policy enforcement refused the request | no active policy, revoked consent, session deadline |
+//! | [`EngineError::NotFound`] | the key was never stored | stream targets an unknown key |
+//! | [`EngineError::RetentionExpired`] | the key's unit was erased | post-erasure access, lapsed retention |
+//! | [`EngineError::Backend`] | the storage substrate failed | duplicate key, page overflow, WAL corruption |
+
+use datacase_sim::time::Ts;
+
+/// Why a [`Request`](crate::frontend::Request) produced no
+/// [`Reply`](crate::frontend::Reply).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// Policy enforcement denied the request before it touched storage.
+    Denied {
+        /// The enforcer's (or session gate's) stated reason.
+        reason: String,
+    },
+    /// The key was never stored under this engine.
+    NotFound {
+        /// The requested key.
+        key: u64,
+    },
+    /// The key once existed but its unit has been erased (or its
+    /// retention deadline executed): the record is gone *by design*, not
+    /// by accident — post-erasure accesses land here rather than in
+    /// [`EngineError::NotFound`].
+    RetentionExpired {
+        /// The requested key.
+        key: u64,
+        /// When the unit left the live state.
+        since: Ts,
+    },
+    /// The storage substrate rejected or failed the physical operation.
+    Backend {
+        /// The substrate's error rendering.
+        detail: String,
+    },
+}
+
+impl EngineError {
+    /// Was the request refused by policy enforcement?
+    pub fn is_denied(&self) -> bool {
+        matches!(self, EngineError::Denied { .. })
+    }
+
+    /// Did the request target a key that never existed?
+    pub fn is_not_found(&self) -> bool {
+        matches!(self, EngineError::NotFound { .. })
+    }
+
+    /// Did the request target an erased (retention-executed) record?
+    pub fn is_retention_expired(&self) -> bool {
+        matches!(self, EngineError::RetentionExpired { .. })
+    }
+
+    /// Did the storage substrate fail?
+    pub fn is_backend(&self) -> bool {
+        matches!(self, EngineError::Backend { .. })
+    }
+
+    /// Short stable label for statistics and tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EngineError::Denied { .. } => "denied",
+            EngineError::NotFound { .. } => "not-found",
+            EngineError::RetentionExpired { .. } => "retention-expired",
+            EngineError::Backend { .. } => "backend",
+        }
+    }
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Denied { reason } => write!(f, "denied by policy: {reason}"),
+            EngineError::NotFound { key } => write!(f, "key {key} not found"),
+            EngineError::RetentionExpired { key, since } => {
+                write!(f, "key {key} erased (retention executed at {since})")
+            }
+            EngineError::Backend { detail } => write!(f, "storage backend failure: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates_match_variants() {
+        assert!(EngineError::Denied { reason: "x".into() }.is_denied());
+        assert!(EngineError::NotFound { key: 1 }.is_not_found());
+        assert!(EngineError::RetentionExpired {
+            key: 1,
+            since: Ts::ZERO
+        }
+        .is_retention_expired());
+        assert!(EngineError::Backend { detail: "d".into() }.is_backend());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(EngineError::NotFound { key: 9 }.label(), "not-found");
+        assert_eq!(
+            format!("{}", EngineError::NotFound { key: 9 }),
+            "key 9 not found"
+        );
+    }
+}

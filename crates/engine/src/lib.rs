@@ -1,8 +1,9 @@
 #![warn(missing_docs)]
 //! # datacase-engine
 //!
-//! The `CompliantDb` engine: the paper's three GDPR-compliance profiles
-//! (§4.2) realised over the from-scratch substrates.
+//! The compliant engine: the paper's three GDPR-compliance profiles
+//! (§4.2) realised over the from-scratch substrates, fronted by a
+//! session-scoped, batch-first request API.
 //!
 //! * **P_Base** — RBAC, CSV row-level response logging, AES-256 per-tuple
 //!   encryption, erasure = DELETE + (periodic) VACUUM. Least restrictive,
@@ -15,31 +16,45 @@
 //!   VACUUM FULL + deletion of the unit's logs. Most restrictive, most
 //!   expensive.
 //!
-//! The engine simultaneously maintains the Data-CASE *abstract model*
-//! (state + action history from `datacase-core`), so the compliance
-//! checker can audit any run, and exposes the erasure executor that maps
-//! grounded interpretations to system-action plans (Table 1).
+//! The **only public write path** is the [`frontend`] module: a
+//! [`Frontend`] owns the engine, a [`Session`] carries the authenticated
+//! [`Actor`], declared purpose, and deadline, and typed [`Request`]s are
+//! submitted as [`Batch`]es — each answered with a [`Response`] whose
+//! outcome is `Result<Reply, EngineError>` plus an [`AuditRef`] into the
+//! audit log. The engine simultaneously maintains the Data-CASE
+//! *abstract model* (state + action history from `datacase-core`), so the
+//! compliance checker can audit any run; the erasure executor that maps
+//! grounded interpretations to system-action plans (Table 1) is driven by
+//! [`Request::Erase`] / [`Request::Restore`].
 //!
 //! Every profile composes over a pluggable
 //! [`StorageBackend`](datacase_storage::backend::StorageBackend): the
 //! PostgreSQL-style heap or the Cassandra-style LSM tree, selected by
 //! [`EngineConfig::backend`](profiles::EngineConfig) — the full
 //! configuration space is `ProfileKind` × `DeleteStrategy` ×
-//! [`BackendKind`].
+//! [`BackendKind`], and [`ShardPlan`] lets a sharded run mix substrates
+//! per shard.
 
-pub mod db;
+mod db;
+
 pub mod driver;
 pub mod erasure;
+pub mod error;
+pub mod frontend;
 pub mod pia;
 pub mod profiles;
 pub mod space;
 pub mod sweeper;
 
 pub use datacase_storage::backend::{BackendKind, BackendStats};
-pub use db::{CompliantDb, OpResult};
-pub use driver::{run_ops, sharded_run, RunStats, ShardedRun};
-pub use erasure::{lsm_erase, probe_on, LsmEraseOutcome};
+pub use db::Actor;
+pub use driver::{
+    run_ops, run_ops_batched, sharded_run, sharded_run_plan, RunStats, ShardPlan, ShardedRun,
+};
+pub use erasure::{lsm_erase, probe, probe_on, LsmEraseOutcome};
+pub use error::EngineError;
+pub use frontend::{AuditRef, Batch, Forensic, Frontend, Reply, Request, Response, Session};
 pub use pia::{assess, certify, Certificate, PiaReport};
-pub use profiles::{EngineConfig, ProfileKind};
+pub use profiles::{DeleteStrategy, EngineConfig, ProfileKind};
 pub use space::SpaceReport;
 pub use sweeper::{sweep, SweepReport, SweeperConfig};

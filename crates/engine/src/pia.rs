@@ -18,7 +18,7 @@ use datacase_core::grounding::table::{Backend, GroundingTable};
 use datacase_core::regulation::Regulation;
 use datacase_sim::report::Table;
 
-use crate::db::CompliantDb;
+use crate::frontend::Frontend;
 use crate::profiles::{DeleteStrategy, EngineConfig, ProfileKind};
 
 /// One identified risk with its severity and mitigation.
@@ -157,8 +157,8 @@ impl Certificate {
 
 /// Certify a live engine: invariant check + empirical erasure probes +
 /// declared groundings.
-pub fn certify(db: &mut CompliantDb, regulation: &Regulation) -> Certificate {
-    let report = db.compliance_report(regulation);
+pub fn certify(frontend: &mut Frontend, regulation: &Regulation) -> Certificate {
+    let report = frontend.compliance_report(regulation);
     let mut probes_passed = 0;
     let probes_total = ErasureInterpretation::ALL.len();
     for interp in ErasureInterpretation::ALL {
@@ -189,6 +189,7 @@ pub fn certify(db: &mut CompliantDb, regulation: &Regulation) -> Certificate {
 mod tests {
     use super::*;
     use crate::db::Actor;
+    use crate::frontend::Session;
     use datacase_workloads::gdprbench::GdprBench;
 
     #[test]
@@ -227,12 +228,10 @@ mod tests {
 
     #[test]
     fn certification_passes_for_compliant_engine() {
-        let mut db = CompliantDb::new(EngineConfig::p_sys());
+        let mut fe = Frontend::new(EngineConfig::p_sys());
         let mut bench = GdprBench::new(5, 50);
-        for op in bench.load_phase(50) {
-            db.execute(&op, Actor::Controller);
-        }
-        let cert = certify(&mut db, &Regulation::gdpr());
+        fe.submit_ops(&Session::new(Actor::Controller), &bench.load_phase(50));
+        let cert = certify(&mut fe, &Regulation::gdpr());
         assert!(cert.granted(), "{cert:?}");
         assert_eq!(cert.probes_passed, cert.probes_total);
         assert_eq!(cert.declared_groundings.len(), 4);
@@ -240,21 +239,21 @@ mod tests {
 
     #[test]
     fn certification_denied_after_violation() {
-        let mut db = CompliantDb::new(EngineConfig::p_base());
+        let mut fe = Frontend::new(EngineConfig::p_base());
         let mut bench = GdprBench::new(6, 50);
-        for op in bench.load_phase(20) {
-            db.execute(&op, Actor::Controller);
-        }
-        let unit = db.unit_of_key(1).unwrap();
-        let rogue = db.entities().by_name("AdPartner").unwrap().id;
-        db.record_history(datacase_core::history::HistoryTuple {
-            unit,
-            purpose: datacase_core::purpose::well_known::advertising(),
-            entity: rogue,
-            action: datacase_core::action::Action::Read,
-            at: db.clock().now(),
-        });
-        let cert = certify(&mut db, &Regulation::gdpr());
+        fe.submit_ops(&Session::new(Actor::Controller), &bench.load_phase(20));
+        let unit = fe.unit_of_key(1).unwrap();
+        let rogue = fe.entities().by_name("AdPartner").unwrap().id;
+        let at = fe.clock().now();
+        fe.forensic()
+            .inject_history(datacase_core::history::HistoryTuple {
+                unit,
+                purpose: datacase_core::purpose::well_known::advertising(),
+                entity: rogue,
+                action: datacase_core::action::Action::Read,
+                at,
+            });
+        let cert = certify(&mut fe, &Regulation::gdpr());
         assert!(!cert.granted());
         assert!(!cert.checker_compliant);
     }

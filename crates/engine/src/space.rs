@@ -8,7 +8,7 @@
 
 use datacase_sim::report::{bytes_human, Table};
 
-use crate::db::CompliantDb;
+use crate::frontend::Frontend;
 
 /// A space-usage breakdown of one engine instance.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -32,7 +32,8 @@ impl SpaceReport {
     /// substrate-independent [`BackendStats`] vocabulary).
     ///
     /// [`BackendStats`]: datacase_storage::backend::BackendStats
-    pub fn measure(db: &CompliantDb) -> SpaceReport {
+    pub fn measure(frontend: &Frontend) -> SpaceReport {
+        let db = frontend.db();
         let personal = db.state().personal_bytes();
         let storage = db.backend_stats();
         SpaceReport {
@@ -98,17 +99,16 @@ impl SpaceReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::db::{Actor, CompliantDb};
+    use crate::db::Actor;
+    use crate::frontend::Session;
     use crate::profiles::{EngineConfig, ProfileKind};
     use datacase_workloads::gdprbench::GdprBench;
 
-    fn loaded(profile: ProfileKind, n: usize) -> CompliantDb {
-        let mut db = CompliantDb::new(EngineConfig::for_profile(profile));
+    fn loaded(profile: ProfileKind, n: usize) -> Frontend {
+        let mut fe = Frontend::new(EngineConfig::for_profile(profile));
         let mut bench = GdprBench::new(11, 100);
-        for op in bench.load_phase(n) {
-            db.execute(&op, Actor::Controller);
-        }
-        db
+        fe.submit_ops(&Session::new(Actor::Controller), &bench.load_phase(n));
+        fe
     }
 
     #[test]
@@ -147,8 +147,8 @@ mod tests {
 
     #[test]
     fn empty_db_factor_is_infinite() {
-        let db = CompliantDb::new(EngineConfig::p_base());
-        let r = SpaceReport::measure(&db);
+        let fe = Frontend::new(EngineConfig::p_base());
+        let r = SpaceReport::measure(&fe);
         assert!(r.space_factor().is_infinite());
     }
 

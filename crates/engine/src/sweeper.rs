@@ -5,15 +5,17 @@
 //! sweeper is that tool's first component for erasure. It scans the model
 //! for units whose `compliance-erase` deadline has passed (or is about to)
 //! and executes the configured erasure grounding on them — turning G17
-//! from a checked invariant into a maintained one.
+//! from a checked invariant into a maintained one. It operates on a
+//! [`Frontend`] like every other engine client; the erasure plans run
+//! through the same executor the frontend's `Erase` requests use.
 
 use datacase_core::grounding::erasure::ErasureInterpretation;
 use datacase_core::ids::UnitId;
 use datacase_core::purpose::well_known as wk;
 use datacase_sim::time::{Dur, Ts};
 
-use crate::db::CompliantDb;
 use crate::erasure::erase_now;
+use crate::frontend::Frontend;
 
 /// Sweeper configuration.
 #[derive(Clone, Copy, Debug)]
@@ -55,7 +57,8 @@ impl SweepReport {
 
 /// Find every personal unit whose earliest `compliance-erase` deadline is
 /// within `config.lead` of `now` (or past), and erase the live ones.
-pub fn sweep(db: &mut CompliantDb, config: SweeperConfig) -> SweepReport {
+pub fn sweep(frontend: &mut Frontend, config: SweeperConfig) -> SweepReport {
+    let db = frontend.db_mut();
     let now = db.clock().now();
     let horizon = now + config.lead;
     // Collect due units first (the erase mutates state).
@@ -78,13 +81,16 @@ pub fn sweep(db: &mut CompliantDb, config: SweeperConfig) -> SweepReport {
         }
     }
     let mut report = SweepReport::default();
+    // Retention erasure is the controller's duty; sweeps are attributed
+    // to it in the action history.
+    let controller = db.controller();
     for (unit, already) in due {
         if already {
             report.already_erased += 1;
             continue;
         }
         match db.key_of_unit(unit) {
-            Some(key) if erase_now(db, key, config.interpretation) => {
+            Some(key) if erase_now(db, key, config.interpretation, controller) => {
                 report.erased.push(unit);
             }
             _ => report.failed.push(unit),
@@ -96,7 +102,8 @@ pub fn sweep(db: &mut CompliantDb, config: SweeperConfig) -> SweepReport {
 /// The next instant a sweep will have work to do: the earliest erase
 /// deadline among live personal units, minus the lead. `None` if nothing
 /// is scheduled for erasure.
-pub fn next_due(db: &CompliantDb, config: SweeperConfig) -> Option<Ts> {
+pub fn next_due(frontend: &Frontend, config: SweeperConfig) -> Option<Ts> {
+    let db = frontend.db();
     let mut earliest: Option<Ts> = None;
     for id in db.state().unit_ids_sorted() {
         let unit = db.state().unit(id).expect("listed");
@@ -123,14 +130,15 @@ pub fn next_due(db: &CompliantDb, config: SweeperConfig) -> Option<Ts> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::db::{Actor, CompliantDb, OpResult};
+    use crate::db::Actor;
+    use crate::frontend::{Request, Session};
     use crate::profiles::EngineConfig;
     use datacase_core::regulation::Regulation;
-    use datacase_workloads::opstream::Op;
     use datacase_workloads::record::GdprMetadata;
 
-    fn db_with_ttls(ttls: &[u64]) -> CompliantDb {
-        let mut db = CompliantDb::new(EngineConfig::p_base());
+    fn fe_with_ttls(ttls: &[u64]) -> Frontend {
+        let mut fe = Frontend::new(EngineConfig::p_base());
+        let controller = Session::new(Actor::Controller);
         for (i, &ttl) in ttls.iter().enumerate() {
             let metadata = GdprMetadata {
                 subject: i as u32,
@@ -139,42 +147,42 @@ mod tests {
                 origin_device: 0,
                 objects_to_sharing: false,
             };
-            db.execute(
-                &Op::Create {
+            fe.run(
+                &controller,
+                Request::Create {
                     key: i as u64,
                     payload: format!("record-{i}").into_bytes(),
                     metadata,
                 },
-                Actor::Controller,
             );
         }
-        db
+        fe
     }
 
     #[test]
     fn sweep_erases_only_due_units() {
-        let mut db = db_with_ttls(&[100, 10_000_000]);
-        db.clock().advance_to(Ts::from_secs(200));
-        let report = sweep(&mut db, SweeperConfig::default());
+        let mut fe = fe_with_ttls(&[100, 10_000_000]);
+        fe.clock().advance_to(Ts::from_secs(200));
+        let report = sweep(&mut fe, SweeperConfig::default());
         assert_eq!(report.erased.len(), 1);
         assert!(report.fully_swept());
-        let early = db.unit_of_key(0).unwrap();
-        let late = db.unit_of_key(1).unwrap();
-        assert!(db.state().unit(early).unwrap().erasure.is_erased());
-        assert!(!db.state().unit(late).unwrap().erasure.is_erased());
+        let early = fe.unit_of_key(0).unwrap();
+        let late = fe.unit_of_key(1).unwrap();
+        assert!(fe.state().unit(early).unwrap().erasure.is_erased());
+        assert!(!fe.state().unit(late).unwrap().erasure.is_erased());
     }
 
     #[test]
     fn swept_db_stays_g17_compliant_past_deadlines() {
-        let mut db = db_with_ttls(&[100, 200, 300]);
+        let mut fe = fe_with_ttls(&[100, 200, 300]);
         // Without sweeping, letting deadlines pass breaks G17…
-        db.clock().advance_to(Ts::from_secs(40 * 24 * 3600));
-        let before = db.compliance_report(&Regulation::gdpr());
+        fe.clock().advance_to(Ts::from_secs(40 * 24 * 3600));
+        let before = fe.compliance_report(&Regulation::gdpr());
         assert!(!before.is_compliant());
         // …but a sweep (even this late) restores the erased-status side.
-        let report = sweep(&mut db, SweeperConfig::default());
+        let report = sweep(&mut fe, SweeperConfig::default());
         assert_eq!(report.erased.len(), 3);
-        let after = db.compliance_report(&Regulation::gdpr());
+        let after = fe.compliance_report(&Regulation::gdpr());
         assert!(after
             .of_invariant("G17")
             .iter()
@@ -183,35 +191,35 @@ mod tests {
 
     #[test]
     fn proactive_sweeps_never_let_g17_break() {
-        let mut db = db_with_ttls(&[3600, 7200, 10_800]);
+        let mut fe = fe_with_ttls(&[3600, 7200, 10_800]);
         let config = SweeperConfig {
             lead: Dur::from_secs(600),
             ..SweeperConfig::default()
         };
         // Sweep at each next-due instant before the deadline passes.
         for _ in 0..3 {
-            let Some(due) = next_due(&db, config) else {
+            let Some(due) = next_due(&fe, config) else {
                 break;
             };
-            db.clock().advance_to(due);
-            sweep(&mut db, config);
-            let report = db.compliance_report(&Regulation::gdpr());
+            fe.clock().advance_to(due);
+            sweep(&mut fe, config);
+            let report = fe.compliance_report(&Regulation::gdpr());
             assert!(
                 report.of_invariant("G17").is_empty(),
                 "G17 must hold continuously: {:?}",
                 report.of_invariant("G17")
             );
         }
-        assert_eq!(next_due(&db, config), None, "everything erased");
+        assert_eq!(next_due(&fe, config), None, "everything erased");
     }
 
     #[test]
     fn second_sweep_is_idempotent() {
-        let mut db = db_with_ttls(&[100]);
-        db.clock().advance_to(Ts::from_secs(5000));
-        let first = sweep(&mut db, SweeperConfig::default());
+        let mut fe = fe_with_ttls(&[100]);
+        fe.clock().advance_to(Ts::from_secs(5000));
+        let first = sweep(&mut fe, SweeperConfig::default());
         assert_eq!(first.erased.len(), 1);
-        let second = sweep(&mut db, SweeperConfig::default());
+        let second = sweep(&mut fe, SweeperConfig::default());
         assert!(second.erased.is_empty());
         assert_eq!(second.already_erased, 1);
     }
@@ -219,7 +227,8 @@ mod tests {
     #[test]
     fn sweep_erases_due_units_on_lsm_backend() {
         use datacase_storage::backend::BackendKind;
-        let mut db = CompliantDb::new(EngineConfig::p_base().with_backend(BackendKind::Lsm));
+        let mut fe = Frontend::new(EngineConfig::p_base().with_backend(BackendKind::Lsm));
+        let controller = Session::new(Actor::Controller);
         let metadata = GdprMetadata {
             subject: 1,
             purpose: wk::billing(),
@@ -227,38 +236,39 @@ mod tests {
             origin_device: 0,
             objects_to_sharing: false,
         };
-        db.execute(
-            &Op::Create {
+        fe.run(
+            &controller,
+            Request::Create {
                 key: 0,
                 payload: b"lsm-swept-record".to_vec(),
                 metadata,
             },
-            Actor::Controller,
         );
-        db.clock().advance_to(Ts::from_secs(5000));
-        let report = sweep(&mut db, SweeperConfig::default());
+        fe.clock().advance_to(Ts::from_secs(5000));
+        let report = sweep(&mut fe, SweeperConfig::default());
         assert_eq!(report.erased.len(), 1);
         assert!(report.fully_swept());
-        let unit = db.unit_of_key(0).unwrap();
-        assert!(db.state().unit(unit).unwrap().erasure.is_erased());
-        let read_back = db.execute(&Op::ReadData { key: 0 }, Actor::Controller);
+        let unit = fe.unit_of_key(0).unwrap();
+        assert!(fe.state().unit(unit).unwrap().erasure.is_erased());
+        let read_back = fe.run(&controller, Request::Read { key: 0 });
         assert!(
-            matches!(read_back, OpResult::NotFound | OpResult::Denied),
-            "erased record must be unreadable: {read_back:?}"
+            read_back.outcome.is_err(),
+            "erased record must be unreadable: {:?}",
+            read_back.outcome
         );
     }
 
     #[test]
     fn sweeper_respects_configured_interpretation() {
-        let mut db = db_with_ttls(&[100]);
-        db.clock().advance_to(Ts::from_secs(5000));
+        let mut fe = fe_with_ttls(&[100]);
+        fe.clock().advance_to(Ts::from_secs(5000));
         let config = SweeperConfig {
             interpretation: ErasureInterpretation::StronglyDeleted,
             ..SweeperConfig::default()
         };
-        sweep(&mut db, config);
-        let unit = db.unit_of_key(0).unwrap();
-        assert!(db
+        sweep(&mut fe, config);
+        let unit = fe.unit_of_key(0).unwrap();
+        assert!(fe
             .state()
             .unit(unit)
             .unwrap()

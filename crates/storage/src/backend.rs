@@ -6,8 +6,9 @@
 //! workload surface (insert/read/update/delete/hide/scan) **and** the
 //! compliance hooks every grounding plan needs — maintenance that turns
 //! logical deletes physical, per-unit purging of retained log/run copies,
-//! drive sanitisation, and the forensic [`scan_physical`] view an
-//! independent auditor uses to verify erasure evidence.
+//! drive sanitisation, and the forensic
+//! [`scan_physical`](StorageBackend::scan_physical) view an independent
+//! auditor uses to verify erasure evidence.
 //!
 //! Two substrates implement it:
 //!

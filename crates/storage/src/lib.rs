@@ -26,9 +26,9 @@
 //!   copies and delete all of them");
 //! * [`forensic`] — the independent residual scanner that makes Table 1's
 //!   property matrix *measurable*;
-//! * [`backend`] — the [`StorageBackend`](backend::StorageBackend)
-//!   contract the compliance layer composes over, implemented for the
-//!   heap and (via [`LsmBackend`](backend::LsmBackend)) the LSM tree.
+//! * [`backend`] — the [`backend::StorageBackend`] contract the
+//!   compliance layer composes over, implemented for the heap and (via
+//!   [`backend::LsmBackend`]) the LSM tree.
 
 pub mod backend;
 pub mod btree;

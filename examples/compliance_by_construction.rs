@@ -6,14 +6,9 @@
 //! cargo run --release --example compliance_by_construction
 //! ```
 
-use data_case::core::regulation::Regulation;
-use data_case::engine::db::{Actor, CompliantDb};
 use data_case::engine::pia::{assess, certify};
-use data_case::engine::profiles::{DeleteStrategy, EngineConfig};
 use data_case::engine::sweeper::{next_due, sweep, SweeperConfig};
-use data_case::sim::time::{Dur, Ts};
-use data_case::workloads::opstream::Op;
-use data_case::workloads::record::GdprMetadata;
+use data_case::prelude::*;
 
 fn main() {
     // 1. PIA first (GDPR Art. 35): assess candidate configurations before
@@ -33,24 +28,25 @@ fn main() {
     }
 
     // 2. Deploy the acceptable profile and collect data with staggered
-    //    retention deadlines.
-    let mut db = CompliantDb::new(EngineConfig::p_base());
-    for i in 0..6u64 {
-        let metadata = GdprMetadata {
-            subject: i as u32,
-            purpose: data_case::core::purpose::well_known::smart_space(),
-            ttl: Ts::from_secs(3600 * (i + 1)), // expire hourly, staggered
-            origin_device: 1,
-            objects_to_sharing: false,
-        };
-        db.execute(
-            &Op::Create {
-                key: i,
-                payload: format!("reading-{i}").into_bytes(),
-                metadata,
+    //    retention deadlines — one batch, one session, one response per
+    //    record.
+    let mut fe = Frontend::new(EngineConfig::p_base());
+    let controller = Session::new(Actor::Controller);
+    let collect: Batch = (0..6u64)
+        .map(|i| Request::Create {
+            key: i,
+            payload: format!("reading-{i}").into_bytes(),
+            metadata: GdprMetadata {
+                subject: i as u32,
+                purpose: data_case::core::purpose::well_known::smart_space(),
+                ttl: Ts::from_secs(3600 * (i + 1)), // expire hourly, staggered
+                origin_device: 1,
+                objects_to_sharing: false,
             },
-            Actor::Controller,
-        );
+        })
+        .collect();
+    for r in fe.submit(&controller, &collect) {
+        assert!(r.is_done());
     }
 
     // 3. Run the sweeper at each due instant: G17 never breaks.
@@ -59,13 +55,13 @@ fn main() {
         ..SweeperConfig::default()
     };
     println!("--- retention sweeping ---\n");
-    while let Some(due) = next_due(&db, sweeper) {
-        db.clock().advance_to(due);
-        let report = sweep(&mut db, sweeper);
-        let check = db.compliance_report(&Regulation::gdpr());
+    while let Some(due) = next_due(&fe, sweeper) {
+        fe.clock().advance_to(due);
+        let report = sweep(&mut fe, sweeper);
+        let check = fe.compliance_report(&Regulation::gdpr());
         println!(
             "sweep at {:>10}: erased {:?} | G17 violations: {}",
-            format!("{}", db.clock().now()),
+            format!("{}", fe.clock().now()),
             report.erased,
             check.of_invariant("G17").len(),
         );
@@ -75,7 +71,7 @@ fn main() {
     // 4. Certification (the DPA's process): checker + empirical probes +
     //    declared groundings.
     println!("\n--- certification ---\n");
-    let cert = certify(&mut db, &Regulation::gdpr());
+    let cert = certify(&mut fe, &Regulation::gdpr());
     println!(
         "regulation: {} | checker: {} | probes: {}/{}",
         cert.regulation, cert.checker_compliant, cert.probes_passed, cert.probes_total

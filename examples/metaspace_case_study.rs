@@ -8,9 +8,8 @@
 //! ```
 
 use data_case::core::grounding::table::{Backend, GroundingTable};
-use data_case::engine::db::{Actor, CompliantDb};
 use data_case::engine::driver::run_ops;
-use data_case::engine::profiles::{DeleteStrategy, EngineConfig};
+use data_case::prelude::*;
 use data_case::workloads::gdprbench::{GdprBench, Mix};
 
 fn main() {
@@ -22,7 +21,7 @@ fn main() {
 
     let groundings = GroundingTable::standard();
     println!("candidate groundings (Table 1):");
-    for interp in data_case::core::grounding::erasure::ErasureInterpretation::ALL {
+    for interp in ErasureInterpretation::ALL {
         if let Some(plan) = groundings.plan(Backend::Heap, interp) {
             println!("  {:<24} -> {}", interp.label(), plan.describe());
         }
@@ -34,14 +33,12 @@ fn main() {
         let mut config = EngineConfig::stock(strategy);
         config.maintenance_every = (txns as u64 / 35).max(20);
         config.heap.buffer_pages = (records / 390).max(32);
-        let mut db = CompliantDb::new(config);
+        let mut fe = Frontend::new(config);
         let mut bench = GdprBench::new(777, 1000);
-        for op in &bench.load_phase(records) {
-            db.execute(op, Actor::Controller);
-        }
+        fe.submit_ops(&Session::new(Actor::Controller), &bench.load_phase(records));
         let ops = bench.ops(txns, Mix::fig4a_customer());
-        let stats = run_ops(&mut db, &ops, Actor::Subject);
-        let storage = db.backend_stats();
+        let stats = run_ops(&mut fe, &ops, Actor::Subject);
+        let storage = fe.backend_stats();
         println!(
             "{:<24} completion={:>8}   dead-tuples-left={:<6} pages={}",
             strategy.label(),

@@ -6,42 +6,45 @@
 //! cargo run --release --example multinational
 //! ```
 
-use data_case::core::grounding::erasure::ErasureInterpretation;
-use data_case::core::regulation::Regulation;
-use data_case::engine::db::{Actor, CompliantDb};
-use data_case::engine::erasure::erase_now;
-use data_case::engine::profiles::EngineConfig;
-use data_case::workloads::opstream::Op;
-use data_case::workloads::record::GdprMetadata;
+use data_case::prelude::*;
+
+fn billing_record() -> Request {
+    Request::Create {
+        key: 1,
+        payload: b"billing-record-of-subject-9".to_vec(),
+        metadata: GdprMetadata {
+            subject: 9,
+            purpose: data_case::core::purpose::well_known::billing(),
+            ttl: Ts::from_secs(3600), // 1 simulated hour
+            origin_device: 1,
+            objects_to_sharing: true,
+        },
+    }
+}
 
 fn main() {
     let mut config = EngineConfig::p_sys();
     config.tuple_encryption = None;
-    let mut db = CompliantDb::new(config);
+    let mut fe = Frontend::new(config);
+    let controller = Session::new(Actor::Controller);
 
     // Collect a record whose retention deadline is short; then let the
     // deadline pass and erase with plain deletion.
-    let metadata = GdprMetadata {
-        subject: 9,
-        purpose: data_case::core::purpose::well_known::billing(),
-        ttl: data_case::sim::time::Ts::from_secs(3600), // 1 simulated hour
-        origin_device: 1,
-        objects_to_sharing: true,
-    };
-    db.execute(
-        &Op::Create {
-            key: 1,
-            payload: b"billing-record-of-subject-9".to_vec(),
-            metadata,
-        },
-        Actor::Controller,
-    );
+    assert!(fe.run(&controller, billing_record()).is_done());
 
     // Erase *before* the deadline with plain deletion.
-    assert!(erase_now(&mut db, 1, ErasureInterpretation::Deleted));
+    assert!(fe
+        .run(
+            &controller,
+            Request::Erase {
+                key: 1,
+                interpretation: ErasureInterpretation::Deleted,
+            },
+        )
+        .outcome
+        .is_ok());
     // Jump past the deadline plus every regulation's grace window.
-    db.clock()
-        .advance_to(data_case::sim::time::Ts::from_secs(60 * 24 * 3600));
+    fe.clock().advance_to(Ts::from_secs(60 * 24 * 3600));
 
     let regulations = [
         Regulation::gdpr(),
@@ -49,7 +52,7 @@ fn main() {
         Regulation::ccpa(),
     ];
     for reg in &regulations {
-        let report = db.compliance_report(reg);
+        let report = fe.compliance_report(reg);
         println!(
             "{:<28} min-erasure={:<24} verdict: {}",
             reg.name,
@@ -76,30 +79,20 @@ fn main() {
     // Do it right for the strict regime on a fresh engine.
     let mut config2 = EngineConfig::p_sys();
     config2.tuple_encryption = None;
-    let mut db2 = CompliantDb::new(config2);
-    let metadata2 = GdprMetadata {
-        subject: 9,
-        purpose: data_case::core::purpose::well_known::billing(),
-        ttl: data_case::sim::time::Ts::from_secs(3600),
-        origin_device: 1,
-        objects_to_sharing: true,
-    };
-    db2.execute(
-        &Op::Create {
-            key: 1,
-            payload: b"billing-record-of-subject-9".to_vec(),
-            metadata: metadata2,
-        },
-        Actor::Controller,
-    );
-    assert!(erase_now(
-        &mut db2,
-        1,
-        ErasureInterpretation::StronglyDeleted
-    ));
-    db2.clock()
-        .advance_to(data_case::sim::time::Ts::from_secs(60 * 24 * 3600));
-    let strict = db2.compliance_report(&Regulation::gdpr_strict_member_state());
+    let mut fe2 = Frontend::new(config2);
+    fe2.run(&controller, billing_record());
+    assert!(fe2
+        .run(
+            &controller,
+            Request::Erase {
+                key: 1,
+                interpretation: ErasureInterpretation::StronglyDeleted,
+            },
+        )
+        .outcome
+        .is_ok());
+    fe2.clock().advance_to(Ts::from_secs(60 * 24 * 3600));
+    let strict = fe2.compliance_report(&Regulation::gdpr_strict_member_state());
     println!(
         "\nre-grounded erase as strong deletion → strict member state: {}",
         if strict.is_compliant() {

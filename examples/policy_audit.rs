@@ -4,8 +4,9 @@
 //! enforcement layer denies it, so the action history stays
 //! policy-consistent and the compliance checker stays green. Then the same
 //! rogue read is *injected* into the history (as if enforcement had been
-//! bypassed) and the checker catches it. Finally the auditor verifies the
-//! tamper-evident log chain — the paper's "demonstrable compliance".
+//! bypassed — which is exactly what the forensic guard models) and the
+//! checker catches it. Finally the auditor verifies the tamper-evident
+//! log chain — the paper's "demonstrable compliance".
 //!
 //! ```sh
 //! cargo run --release --example policy_audit
@@ -13,54 +14,56 @@
 
 use data_case::core::action::Action;
 use data_case::core::history::HistoryTuple;
-use data_case::core::regulation::Regulation;
-use data_case::engine::db::{Actor, CompliantDb, OpResult};
-use data_case::engine::profiles::EngineConfig;
+use data_case::prelude::*;
 use data_case::workloads::gdprbench::GdprBench;
 
 fn main() {
-    let mut db = CompliantDb::new(EngineConfig::p_sys());
+    let mut fe = Frontend::new(EngineConfig::p_sys());
     let mut bench = GdprBench::new(2024, 100);
-    for op in bench.load_phase(500) {
-        db.execute(&op, Actor::Controller);
-    }
+    fe.submit_ops(&Session::new(Actor::Controller), &bench.load_phase(500));
     println!("loaded 500 records under P_SYS (FGAC + encrypted logs)");
 
     // Legitimate processing.
-    for op in bench.ops(200, data_case::workloads::gdprbench::Mix::wcus()) {
-        db.execute(&op, Actor::Subject);
-    }
+    fe.submit_ops(
+        &Session::new(Actor::Subject),
+        &bench.ops(200, data_case::workloads::gdprbench::Mix::wcus()),
+    );
 
     // The ad partner has no policy on unit 1 — FGAC denies the read
-    // *before* it reaches storage. Denied actions never enter the history,
-    // which is exactly how enforcement preserves G6.
-    let rogue_entity = db.entities().by_name("AdPartner").expect("registered").id;
-    let denied_before = db.denied();
-    let probe = db.execute(
-        &data_case::workloads::opstream::Op::ReadData { key: 1 },
-        Actor::Processor, // processor acting outside its purpose windows
+    // *before* it reaches storage, and the typed error says why. Denied
+    // actions never enter the history, which is exactly how enforcement
+    // preserves G6.
+    let rogue_entity = fe.entities().by_name("AdPartner").expect("registered").id;
+    let denied_before = fe.denied();
+    let probe = fe.run(
+        // processor declaring a purpose it holds no policy for
+        &Session::new(Actor::Processor).for_purpose(data_case::core::purpose::well_known::audit()),
+        Request::Read { key: 1 },
     );
     println!(
-        "in-band probe outcome: {probe:?} (denials so far: {})",
-        db.denied()
+        "in-band probe outcome: {:?} (denials so far: {})",
+        probe.outcome,
+        fe.denied()
     );
-    assert!(db.denied() >= denied_before);
+    assert!(probe.is_denied());
+    assert!(fe.denied() > denied_before);
 
-    let clean = db.compliance_report(&Regulation::gdpr());
+    let clean = fe.compliance_report(&Regulation::gdpr());
     println!("\n-- with enforcement --\n{}", clean.render());
     assert!(clean.is_compliant());
 
     // Now simulate an enforcement bypass: the rogue read gets recorded in
     // the action history without any covering policy.
-    let unit = db.unit_of_key(1).expect("loaded");
-    db.record_history(HistoryTuple {
+    let unit = fe.unit_of_key(1).expect("loaded");
+    let at = fe.clock().now();
+    fe.forensic().inject_history(HistoryTuple {
         unit,
         purpose: data_case::core::purpose::well_known::advertising(),
         entity: rogue_entity,
         action: Action::Read,
-        at: db.clock().now(),
+        at,
     });
-    let dirty = db.compliance_report(&Regulation::gdpr());
+    let dirty = fe.compliance_report(&Regulation::gdpr());
     println!(
         "-- after a bypassed read is found in the history --\n{}",
         dirty.render()
@@ -73,12 +76,12 @@ fn main() {
     // The auditor's integrity check over the encrypted log.
     println!(
         "\naudit log: {} records, tamper-evident chain valid: {}",
-        db.logger().records(),
-        db.logger_mut().verify_chain()
+        fe.audit_records(),
+        fe.forensic().verify_chain()
     );
-    let r = db.execute(
-        &data_case::workloads::opstream::Op::ReadMeta { key: 1 },
-        Actor::Controller,
+    let r = fe.run(
+        &Session::new(Actor::Controller),
+        Request::ReadMeta { key: 1 },
     );
-    assert!(!matches!(r, OpResult::Denied), "controller meta access");
+    assert!(!r.is_denied(), "controller meta access");
 }

@@ -1,5 +1,6 @@
-//! Quickstart: collect personal data compliantly, process it, and
-//! demonstrate compliance with a checker report.
+//! Quickstart: collect personal data compliantly, process it through
+//! session-scoped requests, and demonstrate compliance with a checker
+//! report.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -8,49 +9,77 @@
 use data_case::prelude::*;
 
 fn main() {
-    // A P_Base-profile engine: RBAC + CSV response logging + AES-256 at
-    // rest + DELETE+VACUUM erasure.
-    let mut db = CompliantDb::new(EngineConfig::p_base());
+    // A P_Base-profile engine behind the session frontend: RBAC + CSV
+    // response logging + AES-256 at rest + DELETE+VACUUM erasure. The
+    // frontend is the only write path — there is no way to touch the
+    // substrate without a session.
+    let mut fe = Frontend::new(EngineConfig::p_base());
 
     // MetaSpace collects a smart-space reading about subject #7 with
     // consent, a purpose, and a retention deadline (the compliance-erase
     // policy Data-CASE's G17 invariant keys on).
+    let controller = Session::new(Actor::Controller);
     let metadata = GdprMetadata {
         subject: 7,
         purpose: data_case::core::purpose::well_known::smart_space(),
-        ttl: data_case::sim::time::Ts::from_secs(90 * 24 * 3600),
+        ttl: Ts::from_secs(90 * 24 * 3600),
         origin_device: 12,
         objects_to_sharing: false,
     };
-    let create = Op::Create {
-        key: 1,
-        payload: b"dev=000012 person=000007 zone=004 ts=000000001000;".to_vec(),
-        metadata,
-    };
-    assert_eq!(db.execute(&create, Actor::Controller), OpResult::Done);
-    println!("collected 1 record (with consent capture + policy grants)");
+    let resp = fe.run(
+        &controller,
+        Request::Create {
+            key: 1,
+            payload: b"dev=000012 person=000007 zone=004 ts=000000001000;".to_vec(),
+            metadata,
+        },
+    );
+    assert!(resp.is_done());
+    println!(
+        "collected 1 record (consent capture + policy grants, audit seq {})",
+        resp.audit.start
+    );
 
-    // The processor reads it for the collection purpose — policy-consistent.
-    match db.execute(&Op::ReadData { key: 1 }, Actor::Processor) {
-        OpResult::Value(n) => println!("processor read {n} bytes (authorised)"),
+    // The processor reads it under its declared collection purpose —
+    // policy-consistent, purpose limitation made explicit at the boundary.
+    let processor = Session::new(Actor::Processor)
+        .for_purpose(data_case::core::purpose::well_known::smart_space());
+    match fe.run(&processor, Request::Read { key: 1 }).outcome {
+        Ok(Reply::Value(n)) => println!("processor read {n} bytes (authorised)"),
         other => println!("unexpected: {other:?}"),
     }
 
     // The subject reads their own data — the subject-access policy path.
-    match db.execute(&Op::ReadData { key: 1 }, Actor::Subject) {
-        OpResult::Value(n) => println!("subject read {n} bytes (their right of access)"),
+    // Requests can also go out in batches; each gets its own response.
+    let subject = Session::new(Actor::Subject);
+    let batch = Batch::new()
+        .with(Request::Read { key: 1 })
+        .with(Request::ReadMeta { key: 1 });
+    for r in fe.submit(&subject, &batch) {
+        match r.outcome {
+            Ok(Reply::Value(n)) => {
+                println!("subject request #{} returned {n} bytes", r.index)
+            }
+            other => println!("unexpected: {other:?}"),
+        }
+    }
+
+    // The typed error taxonomy at work: a read of a key that was never
+    // stored is NotFound — distinct from a policy denial.
+    match fe.run(&processor, Request::Read { key: 999 }).outcome {
+        Err(EngineError::NotFound { key }) => println!("key {key} was never collected"),
         other => println!("unexpected: {other:?}"),
     }
 
     // Demonstrate compliance: run the full GDPR invariant catalog over the
     // engine's Data-CASE model (state + action history).
-    let report = db.compliance_report(&Regulation::gdpr());
+    let report = fe.compliance_report(&Regulation::gdpr());
     println!("\n{}", report.render());
     assert!(report.is_compliant());
 
     println!(
         "simulated time elapsed: {} | denied ops: {}",
-        db.clock().now(),
-        db.denied()
+        fe.clock().now(),
+        fe.denied()
     );
 }

@@ -10,71 +10,74 @@
 //! the residual *mechanics* differ per backend (dead tuples and WAL
 //! records vs shadowed run entries), but the grounded *properties* agree.
 //!
+//! Everything compliant goes through sessions (`Request::Erase` /
+//! `Request::Restore`); only the seized-disk simulation uses the
+//! clearly-marked forensic guard.
+//!
 //! ```sh
 //! cargo run --release --example right_to_be_forgotten
 //! ```
 
 use data_case::core::grounding::erasure::ErasureInterpretation;
 use data_case::core::timeline::ErasureTimeline;
-use data_case::engine::db::{Actor, CompliantDb, OpResult};
-use data_case::engine::erasure::{erase_now, restore_now};
-use data_case::engine::profiles::EngineConfig;
+use data_case::prelude::*;
 use data_case::storage::backend::BackendKind;
-use data_case::workloads::opstream::Op;
-use data_case::workloads::record::GdprMetadata;
 
 const PAYLOAD: &[u8] = b"SUBJECT-42-LOCATION-TRACE-SENSITIVE";
 
-fn fresh_db(backend: BackendKind) -> CompliantDb {
+fn fresh_frontend(backend: BackendKind) -> Frontend {
     let mut config = EngineConfig::p_sys().with_backend(backend);
     config.tuple_encryption = None; // keep bytes visible so forensics bite
-    let mut db = CompliantDb::new(config);
+    let mut fe = Frontend::new(config);
     let metadata = GdprMetadata {
         subject: 42,
         purpose: data_case::core::purpose::well_known::smart_space(),
-        ttl: data_case::sim::time::Ts::from_secs(90 * 24 * 3600),
+        ttl: Ts::from_secs(90 * 24 * 3600),
         origin_device: 3,
         objects_to_sharing: false,
     };
-    let r = db.execute(
-        &Op::Create {
+    let r = fe.run(
+        &Session::new(Actor::Controller),
+        Request::Create {
             key: 1,
             payload: PAYLOAD.to_vec(),
             metadata,
         },
-        Actor::Controller,
     );
-    assert_eq!(r, OpResult::Done);
+    assert!(r.is_done());
     // A derived analytics mirror — identifying and invertible — so the
-    // illegal-inference property has something to find.
-    let unit = db.unit_of_key(1).expect("created");
-    let now = db.clock().now();
-    let derived = db.state_mut().derive(
-        &[unit],
-        "analytics-mirror",
-        true,
-        true,
-        data_case::core::value::Value::Bytes(PAYLOAD.to_vec()),
-        now,
-    );
-    db.backend_mut()
-        .insert(2, derived.0, PAYLOAD)
-        .expect("mirror insert");
-    db.bind_derived_key(derived, 2);
+    // illegal-inference property has something to find. Planting it is a
+    // forensic-guard action: it models data copied outside the request
+    // path.
+    let unit = fe.unit_of_key(1).expect("created");
+    fe.forensic()
+        .plant_derived(&[unit], "analytics-mirror", true, true, PAYLOAD, 2);
     // Data at rest before the request arrives (flushed pages / runs).
-    db.backend_mut().checkpoint();
-    db
+    fe.forensic().checkpoint();
+    fe
 }
 
 fn main() {
+    let controller = Session::new(Actor::Controller);
     for interp in ErasureInterpretation::ALL {
         println!("== erase as: {interp} ==");
         for backend in BackendKind::ALL {
-            let mut db = fresh_db(backend);
-            assert!(erase_now(&mut db, 1, interp));
+            let mut fe = fresh_frontend(backend);
+            assert!(fe
+                .run(
+                    &controller,
+                    Request::Erase {
+                        key: 1,
+                        interpretation: interp,
+                    },
+                )
+                .outcome
+                .is_ok());
 
-            let read_back = db.execute(&Op::ReadData { key: 1 }, Actor::Processor);
-            let findings = db.forensic(PAYLOAD);
+            let read_back = fe
+                .run(&Session::new(Actor::Processor), Request::Read { key: 1 })
+                .outcome;
+            let findings = fe.forensic().scan(PAYLOAD);
             println!(
                 "   [{:<4}] read-after-erase: {read_back:?}",
                 backend.label()
@@ -85,7 +88,10 @@ fn main() {
                 findings.total(),
                 findings.describe()
             );
-            let restored = restore_now(&mut db, 1);
+            let restored = fe
+                .run(&controller, Request::Restore { key: 1 })
+                .outcome
+                .is_ok();
             println!(
                 "   [{:<4}] restore attempt: {restored} ({})",
                 backend.label(),
@@ -101,20 +107,22 @@ fn main() {
 
     // Figure 3: one unit staged through every interpretation over time
     // (heap-backed; the staging is identical on the LSM).
-    let mut db = fresh_db(BackendKind::Heap);
-    let unit = db.unit_of_key(1).expect("created");
-    db.clock()
-        .advance_to(data_case::sim::time::Ts::from_secs(3600));
-    erase_now(&mut db, 1, ErasureInterpretation::ReversiblyInaccessible);
-    db.clock()
-        .advance_to(data_case::sim::time::Ts::from_secs(7200));
-    erase_now(&mut db, 1, ErasureInterpretation::Deleted);
-    db.clock()
-        .advance_to(data_case::sim::time::Ts::from_secs(9000));
-    erase_now(&mut db, 1, ErasureInterpretation::StronglyDeleted);
-    db.clock()
-        .advance_to(data_case::sim::time::Ts::from_secs(10800));
-    erase_now(&mut db, 1, ErasureInterpretation::PermanentlyDeleted);
-    let tl = ErasureTimeline::from_history(db.history(), unit);
+    let mut fe = fresh_frontend(BackendKind::Heap);
+    let unit = fe.unit_of_key(1).expect("created");
+    let mut stage = |at_secs: u64, interpretation: ErasureInterpretation| {
+        fe.clock().advance_to(Ts::from_secs(at_secs));
+        fe.run(
+            &controller,
+            Request::Erase {
+                key: 1,
+                interpretation,
+            },
+        );
+    };
+    stage(3600, ErasureInterpretation::ReversiblyInaccessible);
+    stage(7200, ErasureInterpretation::Deleted);
+    stage(9000, ErasureInterpretation::StronglyDeleted);
+    stage(10800, ErasureInterpretation::PermanentlyDeleted);
+    let tl = ErasureTimeline::from_history(fe.history(), unit);
     println!("{}", tl.render());
 }

@@ -1,37 +1,52 @@
-//! Cross-crate integration: erasure groundings, forensics, Table 1 probes.
+//! Cross-crate integration: erasure groundings, forensics, Table 1 probes
+//! — all driven through the session frontend's `Erase`/`Restore`
+//! requests.
 
-use data_case::core::grounding::erasure::ErasureInterpretation;
 use data_case::core::grounding::properties::ErasureProperties;
-use data_case::engine::db::{Actor, CompliantDb, OpResult};
-use data_case::engine::erasure::{erase_now, lsm_erase, probe, restore_now};
-use data_case::engine::profiles::{DeleteStrategy, EngineConfig};
+use data_case::engine::{lsm_erase, probe};
+use data_case::prelude::*;
 use data_case::storage::lsm::LsmTree;
-use data_case::workloads::opstream::Op;
-use data_case::workloads::record::GdprMetadata;
 
-fn seeded_db() -> CompliantDb {
+fn seeded_frontend() -> Frontend {
     let mut config = EngineConfig::p_sys();
     config.tuple_encryption = None;
-    let mut db = CompliantDb::new(config);
+    let mut fe = Frontend::new(config);
     let metadata = GdprMetadata {
         subject: 5,
         purpose: data_case::core::purpose::well_known::smart_space(),
-        ttl: data_case::sim::time::Ts::from_secs(1_000_000),
+        ttl: Ts::from_secs(1_000_000),
         origin_device: 2,
         objects_to_sharing: false,
     };
-    assert_eq!(
-        db.execute(
-            &Op::Create {
+    assert!(fe
+        .run(
+            &Session::new(Actor::Controller),
+            Request::Create {
                 key: 1,
                 payload: b"INTEGRATION-ERASE-TARGET".to_vec(),
                 metadata,
             },
-            Actor::Controller,
-        ),
-        OpResult::Done
-    );
-    db
+        )
+        .is_done());
+    fe
+}
+
+fn erase(fe: &mut Frontend, key: u64, interpretation: ErasureInterpretation) -> bool {
+    fe.run(
+        &Session::new(Actor::Controller),
+        Request::Erase {
+            key,
+            interpretation,
+        },
+    )
+    .outcome
+    .is_ok()
+}
+
+fn restore(fe: &mut Frontend, key: u64) -> bool {
+    fe.run(&Session::new(Actor::Controller), Request::Restore { key })
+        .outcome
+        .is_ok()
 }
 
 #[test]
@@ -49,19 +64,19 @@ fn table1_probes_match_expected_matrix_end_to_end() {
 
 #[test]
 fn delete_leaves_online_residuals_strong_delete_clears_file() {
-    let mut db = seeded_db();
-    assert!(erase_now(&mut db, 1, ErasureInterpretation::Deleted));
-    let f = db.forensic(b"INTEGRATION-ERASE-TARGET");
+    let mut fe = seeded_frontend();
+    assert!(erase(&mut fe, 1, ErasureInterpretation::Deleted));
+    let f = fe.forensic().scan(b"INTEGRATION-ERASE-TARGET");
     // Vacuum wiped the page, but the WAL retains the payload.
     assert!(!f.wal_lsns.is_empty(), "WAL retention: {}", f.describe());
 
-    let mut db2 = seeded_db();
-    assert!(erase_now(
-        &mut db2,
+    let mut fe2 = seeded_frontend();
+    assert!(erase(
+        &mut fe2,
         1,
         ErasureInterpretation::PermanentlyDeleted
     ));
-    let f2 = db2.forensic(b"INTEGRATION-ERASE-TARGET");
+    let f2 = fe2.forensic().scan(b"INTEGRATION-ERASE-TARGET");
     assert!(
         !f2.any(),
         "permanent deletion must clear all layers: {}",
@@ -71,70 +86,65 @@ fn delete_leaves_online_residuals_strong_delete_clears_file() {
 
 #[test]
 fn staged_escalation_reaches_permanent() {
-    let mut db = seeded_db();
-    assert!(erase_now(
-        &mut db,
+    let mut fe = seeded_frontend();
+    assert!(erase(
+        &mut fe,
         1,
         ErasureInterpretation::ReversiblyInaccessible
     ));
-    assert!(erase_now(&mut db, 1, ErasureInterpretation::Deleted));
-    assert!(erase_now(
-        &mut db,
-        1,
-        ErasureInterpretation::StronglyDeleted
-    ));
-    assert!(erase_now(
-        &mut db,
-        1,
-        ErasureInterpretation::PermanentlyDeleted
-    ));
-    let unit = db.unit_of_key(1).unwrap();
-    let tl = data_case::core::timeline::ErasureTimeline::from_history(db.history(), unit);
+    assert!(erase(&mut fe, 1, ErasureInterpretation::Deleted));
+    assert!(erase(&mut fe, 1, ErasureInterpretation::StronglyDeleted));
+    assert!(erase(&mut fe, 1, ErasureInterpretation::PermanentlyDeleted));
+    let unit = fe.unit_of_key(1).unwrap();
+    let tl = data_case::core::timeline::ErasureTimeline::from_history(fe.history(), unit);
     assert!(tl.is_monotone());
     assert!(tl.permanently_deleted.is_some());
 }
 
 #[test]
 fn restore_works_only_before_physical_deletion() {
-    let mut db = seeded_db();
-    assert!(erase_now(
-        &mut db,
+    let mut fe = seeded_frontend();
+    assert!(erase(
+        &mut fe,
         1,
         ErasureInterpretation::ReversiblyInaccessible
     ));
-    assert!(restore_now(&mut db, 1));
-    assert!(erase_now(&mut db, 1, ErasureInterpretation::Deleted));
-    assert!(!restore_now(&mut db, 1));
+    assert!(restore(&mut fe, 1));
+    assert!(erase(&mut fe, 1, ErasureInterpretation::Deleted));
+    assert!(!restore(&mut fe, 1));
 }
 
 #[test]
 fn tombstone_strategy_keeps_data_readable_by_controller_view() {
     let mut config = EngineConfig::stock(DeleteStrategy::TombstoneAttribute);
     config.maintenance_every = u64::MAX;
-    let mut db = CompliantDb::new(config);
+    let mut fe = Frontend::new(config);
+    let controller = Session::new(Actor::Controller);
     let metadata = GdprMetadata {
         subject: 1,
         purpose: data_case::core::purpose::well_known::billing(),
-        ttl: data_case::sim::time::Ts::from_secs(1_000_000),
+        ttl: Ts::from_secs(1_000_000),
         origin_device: 0,
         objects_to_sharing: false,
     };
-    db.execute(
-        &Op::Create {
+    fe.run(
+        &controller,
+        Request::Create {
             key: 9,
             payload: b"hidden-not-gone".to_vec(),
             metadata,
         },
-        Actor::Controller,
     );
-    db.execute(&Op::DeleteData { key: 9 }, Actor::Controller);
-    // Normal reads can no longer see it…
-    assert_eq!(
-        db.execute(&Op::ReadData { key: 9 }, Actor::Processor),
-        OpResult::NotFound
+    fe.run(&controller, Request::Delete { key: 9 });
+    // Normal reads can no longer see it — and the error says *why*…
+    let r = fe.run(&Session::new(Actor::Processor), Request::Read { key: 9 });
+    assert!(
+        r.err().is_some_and(EngineError::is_retention_expired),
+        "{:?}",
+        r.outcome
     );
     // …but the bytes are physically present (the paper's hazard).
-    let f = db.forensic(b"hidden-not-gone");
+    let f = fe.forensic().scan(b"hidden-not-gone");
     assert!(f.online(), "{}", f.describe());
 }
 
@@ -161,31 +171,36 @@ fn lsm_erasure_groundings_full_cycle() {
 
 #[test]
 fn crypto_erasure_seals_ciphertext_forever() {
-    let mut db = CompliantDb::new(EngineConfig::p_sys()); // per-unit AES keys
+    let mut fe = Frontend::new(EngineConfig::p_sys()); // per-unit AES keys
     let metadata = GdprMetadata {
         subject: 3,
         purpose: data_case::core::purpose::well_known::billing(),
-        ttl: data_case::sim::time::Ts::from_secs(1_000_000),
+        ttl: Ts::from_secs(1_000_000),
         origin_device: 0,
         objects_to_sharing: false,
     };
-    db.execute(
-        &Op::Create {
+    fe.run(
+        &Session::new(Actor::Controller),
+        Request::Create {
             key: 4,
             payload: b"crypto-erase-me".to_vec(),
             metadata,
         },
-        Actor::Controller,
     );
     // Plaintext never reaches persistent storage under tuple encryption.
-    let f = db.forensic(b"crypto-erase-me");
+    let f = fe.forensic().scan(b"crypto-erase-me");
     assert!(f.file_pages.is_empty(), "{}", f.describe());
     // Destroy the key: the unit is now permanently unreadable.
-    let unit = db.unit_of_key(4).unwrap();
-    assert!(db.vault_mut().unwrap().destroy_key(unit.0));
-    match db.execute(&Op::ReadData { key: 4 }, Actor::Processor) {
-        OpResult::Value(0) => {} // unreadable: empty decryption
-        OpResult::Denied | OpResult::NotFound => {}
+    let unit = fe.unit_of_key(4).unwrap();
+    assert!(fe.forensic().destroy_key(unit));
+    match fe
+        .run(&Session::new(Actor::Processor), Request::Read { key: 4 })
+        .outcome
+    {
+        Ok(Reply::Value(0)) => {} // unreadable: empty decryption
+        Err(EngineError::Denied { .. })
+        | Err(EngineError::NotFound { .. })
+        | Err(EngineError::RetentionExpired { .. }) => {}
         other => panic!("expected unreadable content, got {other:?}"),
     }
 }

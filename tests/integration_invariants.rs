@@ -2,33 +2,22 @@
 //! model state, including violation injection and multinational verdicts.
 
 use data_case::core::action::Action;
-use data_case::core::grounding::erasure::ErasureInterpretation;
 use data_case::core::history::HistoryTuple;
-use data_case::core::regulation::Regulation;
-use data_case::engine::db::{Actor, CompliantDb};
-use data_case::engine::erasure::erase_now;
-use data_case::engine::profiles::{EngineConfig, ProfileKind};
+use data_case::prelude::*;
 use data_case::workloads::gdprbench::{GdprBench, Mix};
-use data_case::workloads::opstream::Op;
-use data_case::workloads::record::GdprMetadata;
 
-fn loaded(profile: ProfileKind) -> CompliantDb {
-    let mut db = CompliantDb::new(EngineConfig::for_profile(profile));
+fn loaded(profile: ProfileKind) -> Frontend {
+    let mut fe = Frontend::new(EngineConfig::for_profile(profile));
     let mut bench = GdprBench::new(99, 50);
-    for op in bench.load_phase(100) {
-        db.execute(&op, Actor::Controller);
-    }
-    let ops = bench.ops(150, Mix::wcus());
-    for op in &ops {
-        db.execute(op, Actor::Subject);
-    }
-    db
+    fe.submit_ops(&Session::new(Actor::Controller), &bench.load_phase(100));
+    fe.submit_ops(&Session::new(Actor::Subject), &bench.ops(150, Mix::wcus()));
+    fe
 }
 
 #[test]
 fn engine_run_passes_full_gdpr_catalog() {
-    let mut db = loaded(ProfileKind::PSys);
-    let report = db.compliance_report(&Regulation::gdpr());
+    let mut fe = loaded(ProfileKind::PSys);
+    let report = fe.compliance_report(&Regulation::gdpr());
     assert!(
         report.is_compliant(),
         "{:?}",
@@ -39,17 +28,18 @@ fn engine_run_passes_full_gdpr_catalog() {
 
 #[test]
 fn injected_rogue_read_breaks_g6_and_iv_only() {
-    let mut db = loaded(ProfileKind::PBase);
-    let unit = db.unit_of_key(5).expect("loaded");
-    let rogue = db.entities().by_name("AdPartner").unwrap().id;
-    db.record_history(HistoryTuple {
+    let mut fe = loaded(ProfileKind::PBase);
+    let unit = fe.unit_of_key(5).expect("loaded");
+    let rogue = fe.entities().by_name("AdPartner").unwrap().id;
+    let at = fe.clock().now();
+    fe.forensic().inject_history(HistoryTuple {
         unit,
         purpose: data_case::core::purpose::well_known::advertising(),
         entity: rogue,
         action: Action::Read,
-        at: db.clock().now(),
+        at,
     });
-    let report = db.compliance_report(&Regulation::gdpr());
+    let report = fe.compliance_report(&Regulation::gdpr());
     assert!(!report.is_compliant());
     assert_eq!(report.of_invariant("G6").len(), 1);
     assert_eq!(report.of_invariant("IV").len(), 1);
@@ -59,31 +49,40 @@ fn injected_rogue_read_breaks_g6_and_iv_only() {
 
 #[test]
 fn overdue_erasure_breaks_g17() {
-    let mut db = CompliantDb::new(EngineConfig::p_base());
+    let mut fe = Frontend::new(EngineConfig::p_base());
+    let controller = Session::new(Actor::Controller);
     let metadata = GdprMetadata {
         subject: 2,
         purpose: data_case::core::purpose::well_known::billing(),
-        ttl: data_case::sim::time::Ts::from_secs(10),
+        ttl: Ts::from_secs(10),
         origin_device: 0,
         objects_to_sharing: false,
     };
-    db.execute(
-        &Op::Create {
+    fe.run(
+        &controller,
+        Request::Create {
             key: 1,
             payload: b"soon-overdue".to_vec(),
             metadata,
         },
-        Actor::Controller,
     );
     // Let the deadline + grace pass without erasing.
-    db.clock()
-        .advance_to(data_case::sim::time::Ts::from_secs(30 * 24 * 3600));
-    let report = db.compliance_report(&Regulation::gdpr());
+    fe.clock().advance_to(Ts::from_secs(30 * 24 * 3600));
+    let report = fe.compliance_report(&Regulation::gdpr());
     assert!(!report.is_compliant());
     assert!(!report.of_invariant("G17").is_empty());
     // Erase and the violation clears.
-    assert!(erase_now(&mut db, 1, ErasureInterpretation::Deleted));
-    let after = db.compliance_report(&Regulation::gdpr());
+    assert!(fe
+        .run(
+            &controller,
+            Request::Erase {
+                key: 1,
+                interpretation: ErasureInterpretation::Deleted,
+            },
+        )
+        .outcome
+        .is_ok());
+    let after = fe.compliance_report(&Regulation::gdpr());
     // The erase happened after the grace window, so the record-keeping
     // side is satisfied but G17 still flags lateness… unless the erase
     // action stands. Our grounding accepts any erase ≤ now with status
@@ -101,29 +100,38 @@ fn multinational_verdicts_differ_by_grounding() {
     // state that grounds erasure as strong deletion.
     let mut config = EngineConfig::p_sys();
     config.tuple_encryption = None;
-    let mut db = CompliantDb::new(config);
+    let mut fe = Frontend::new(config);
+    let controller = Session::new(Actor::Controller);
     let metadata = GdprMetadata {
         subject: 9,
         purpose: data_case::core::purpose::well_known::billing(),
-        ttl: data_case::sim::time::Ts::from_secs(3600),
+        ttl: Ts::from_secs(3600),
         origin_device: 1,
         objects_to_sharing: false,
     };
-    db.execute(
-        &Op::Create {
+    fe.run(
+        &controller,
+        Request::Create {
             key: 1,
             payload: b"cross-border".to_vec(),
             metadata,
         },
-        Actor::Controller,
     );
-    assert!(erase_now(&mut db, 1, ErasureInterpretation::Deleted));
-    db.clock()
-        .advance_to(data_case::sim::time::Ts::from_secs(90 * 24 * 3600));
+    assert!(fe
+        .run(
+            &controller,
+            Request::Erase {
+                key: 1,
+                interpretation: ErasureInterpretation::Deleted,
+            },
+        )
+        .outcome
+        .is_ok());
+    fe.clock().advance_to(Ts::from_secs(90 * 24 * 3600));
 
-    assert!(db.compliance_report(&Regulation::gdpr()).is_compliant());
-    assert!(db.compliance_report(&Regulation::ccpa()).is_compliant());
-    assert!(!db
+    assert!(fe.compliance_report(&Regulation::gdpr()).is_compliant());
+    assert!(fe.compliance_report(&Regulation::ccpa()).is_compliant());
+    assert!(!fe
         .compliance_report(&Regulation::gdpr_strict_member_state())
         .is_compliant());
 }
@@ -133,16 +141,16 @@ fn ccpa_does_not_require_assessments() {
     // A CCPA-only deployment that never records DPIAs still passes (III is
     // not enforced), while GDPR flags nothing either since the engine
     // records assessments at startup.
-    let mut db = loaded(ProfileKind::PBase);
-    let ccpa = db.compliance_report(&Regulation::ccpa());
+    let mut fe = loaded(ProfileKind::PBase);
+    let ccpa = fe.compliance_report(&Regulation::ccpa());
     assert!(ccpa.is_compliant());
     assert!(!ccpa.outcomes.iter().any(|o| o.id == "III"));
 }
 
 #[test]
 fn audit_chain_feeds_invariant_ix() {
-    let mut db = loaded(ProfileKind::PSys);
-    assert!(db.logger_mut().verify_chain());
-    let report = db.compliance_report(&Regulation::gdpr());
+    let mut fe = loaded(ProfileKind::PSys);
+    assert!(fe.forensic().verify_chain());
+    let report = fe.compliance_report(&Regulation::gdpr());
     assert!(report.of_invariant("IX").is_empty());
 }

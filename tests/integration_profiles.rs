@@ -1,30 +1,29 @@
-//! Cross-crate integration: the three compliance profiles end to end.
+//! Cross-crate integration: the three compliance profiles end to end,
+//! driven batch-first through the session frontend.
 
-use data_case::core::regulation::Regulation;
-use data_case::engine::db::{Actor, CompliantDb, OpResult};
-use data_case::engine::driver::run_ops;
-use data_case::engine::profiles::{EngineConfig, ProfileKind};
+use data_case::engine::driver::{run_ops, sharded_run_plan, ShardPlan};
 use data_case::engine::space::SpaceReport;
+use data_case::prelude::*;
+use data_case::storage::backend::BackendKind;
 use data_case::workloads::gdprbench::{GdprBench, Mix};
-use data_case::workloads::opstream::Op;
 use data_case::workloads::ycsb::{Ycsb, YcsbWorkload};
 
-fn loaded(profile: ProfileKind, records: usize, seed: u64) -> (CompliantDb, GdprBench) {
-    let mut db = CompliantDb::new(EngineConfig::for_profile(profile));
+fn loaded(profile: ProfileKind, records: usize, seed: u64) -> (Frontend, GdprBench) {
+    let mut fe = Frontend::new(EngineConfig::for_profile(profile));
     let mut bench = GdprBench::new(seed, 100);
-    for op in bench.load_phase(records) {
-        assert_eq!(db.execute(&op, Actor::Controller), OpResult::Done);
+    for r in fe.submit_ops(&Session::new(Actor::Controller), &bench.load_phase(records)) {
+        assert!(r.is_done(), "{:?}", r.outcome);
     }
-    (db, bench)
+    (fe, bench)
 }
 
 #[test]
 fn per_op_cost_ordering_holds_on_wcus() {
     let mut sims = Vec::new();
     for profile in ProfileKind::PAPER {
-        let (mut db, mut bench) = loaded(profile, 400, 7);
+        let (mut fe, mut bench) = loaded(profile, 400, 7);
         let ops = bench.ops(800, Mix::wcus());
-        let stats = run_ops(&mut db, &ops, Actor::Subject);
+        let stats = run_ops(&mut fe, &ops, Actor::Subject);
         sims.push((profile, stats.simulated));
     }
     assert!(
@@ -36,13 +35,11 @@ fn per_op_cost_ordering_holds_on_wcus() {
 #[test]
 fn ycsb_c_runs_on_all_profiles_with_zero_denials() {
     for profile in ProfileKind::PAPER {
-        let mut db = CompliantDb::new(EngineConfig::for_profile(profile));
+        let mut fe = Frontend::new(EngineConfig::for_profile(profile));
         let mut y = Ycsb::new(3, 300);
-        for op in y.load_phase() {
-            db.execute(&op, Actor::Controller);
-        }
+        fe.submit_ops(&Session::new(Actor::Controller), &y.load_phase());
         let ops = y.ops(600, YcsbWorkload::C);
-        let stats = run_ops(&mut db, &ops, Actor::Processor);
+        let stats = run_ops(&mut fe, &ops, Actor::Processor);
         assert_eq!(stats.denied, 0, "{profile:?}");
         assert_eq!(stats.ops, 600);
     }
@@ -51,10 +48,10 @@ fn ycsb_c_runs_on_all_profiles_with_zero_denials() {
 #[test]
 fn all_profiles_stay_gdpr_compliant_under_wcus() {
     for profile in ProfileKind::PAPER {
-        let (mut db, mut bench) = loaded(profile, 200, 11);
+        let (mut fe, mut bench) = loaded(profile, 200, 11);
         let ops = bench.ops(400, Mix::wcus());
-        run_ops(&mut db, &ops, Actor::Subject);
-        let report = db.compliance_report(&Regulation::gdpr());
+        run_ops(&mut fe, &ops, Actor::Subject);
+        let report = fe.compliance_report(&Regulation::gdpr());
         assert!(
             report.is_compliant(),
             "{profile:?}: {:?}",
@@ -67,8 +64,8 @@ fn all_profiles_stay_gdpr_compliant_under_wcus() {
 fn space_factors_ordered_and_psys_policy_heavy() {
     let mut factors = Vec::new();
     for profile in ProfileKind::PAPER {
-        let (db, _) = loaded(profile, 400, 23);
-        let r = SpaceReport::measure(&db);
+        let (fe, _) = loaded(profile, 400, 23);
+        let r = SpaceReport::measure(&fe);
         factors.push((profile, r.space_factor(), r.policy_bytes));
     }
     assert!(factors[0].1 < factors[1].1, "{factors:?}");
@@ -81,24 +78,21 @@ fn space_factors_ordered_and_psys_policy_heavy() {
 
 #[test]
 fn wcon_controller_workload_executes_cleanly() {
-    let (mut db, mut bench) = loaded(ProfileKind::PGBench, 300, 31);
+    let (mut fe, mut bench) = loaded(ProfileKind::PGBench, 300, 31);
     let ops = bench.ops(400, Mix::wcon());
-    let stats = run_ops(&mut db, &ops, Actor::Controller);
+    let stats = run_ops(&mut fe, &ops, Actor::Controller);
     assert_eq!(stats.denied, 0, "controller ops should all be authorised");
 }
 
 #[test]
 fn wpro_metadata_scans_return_rows() {
-    let (mut db, mut bench) = loaded(ProfileKind::PBase, 500, 41);
+    let (mut fe, mut bench) = loaded(ProfileKind::PBase, 500, 41);
     let ops = bench.ops(300, Mix::wpro());
+    let processor = Session::new(Actor::Processor);
     let mut rows_seen = 0usize;
-    for op in &ops {
-        if let Op::ReadByMetadata { .. } = op {
-            if let OpResult::Rows(n) = db.execute(op, Actor::Processor) {
-                rows_seen += n;
-            }
-        } else {
-            db.execute(op, Actor::Processor);
+    for r in fe.submit_ops(&processor, &ops) {
+        if let Some(n) = r.rows() {
+            rows_seen += n;
         }
     }
     assert!(rows_seen > 0, "metadata-based reads must surface data");
@@ -113,9 +107,24 @@ fn sharded_driver_agrees_with_sequential_results() {
     let run = data_case::engine::driver::sharded_run(&config, &load, &txns, Actor::Subject, 3);
     assert_eq!(run.total_ops(), 300);
     for s in &run.shards {
-        assert!(s.denied + s.not_found <= s.ops);
+        assert!(s.denied + s.not_found + s.expired + s.failed <= s.ops);
     }
     // The shards share one meter: the aggregate work snapshot covers the
     // whole fleet (300 load creates alone log 300 audit records).
+    assert!(run.work.log_records >= 300);
+}
+
+#[test]
+fn heterogeneous_shard_plan_mixes_backends_in_one_job() {
+    // The ROADMAP's per-shard backend choice: a hot heap shard next to
+    // LSM capacity shards, one sharded job, same enforcement outcomes.
+    let config = EngineConfig::for_profile(ProfileKind::PBase);
+    let mut bench = GdprBench::new(67, 100);
+    let load = bench.load_phase(300);
+    let txns = bench.ops(300, Mix::wcus());
+    let plan = ShardPlan::of(&[BackendKind::Heap, BackendKind::Lsm, BackendKind::Lsm]);
+    let run = sharded_run_plan(&config, &load, &txns, Actor::Subject, &plan);
+    assert_eq!(run.shards.len(), 3);
+    assert_eq!(run.total_ops(), 300);
     assert!(run.work.log_records >= 300);
 }

@@ -1,0 +1,145 @@
+//! Property-based parity suite for the session frontend: submitting one
+//! batch of *n* requests must be indistinguishable from *n* single-request
+//! submissions — same reply stream, same work-meter counters, same
+//! forensic residuals — on **both** storage backends. This is the
+//! contract that makes the drivers' batch-first execution safe: batching
+//! amortizes boundary crossings, never semantics.
+
+use proptest::prelude::*;
+
+use data_case::prelude::*;
+use data_case::storage::backend::BackendKind;
+use data_case::workloads::gdprbench::{GdprBench, Mix};
+
+/// One full run: load `records`, then execute `txns` WCus requests in
+/// submissions of `batch_size`. Returns the outcome stream, the meter
+/// counters, and the count of forensic residuals for the workload's
+/// payload marker.
+fn run(
+    backend: BackendKind,
+    profile: ProfileKind,
+    seed: u64,
+    records: usize,
+    txns: usize,
+    batch_size: usize,
+) -> (Vec<Result<Reply, EngineError>>, MeterSnapshot, usize) {
+    let mut config = EngineConfig::for_profile(profile).with_backend(backend);
+    config.maintenance_every = 25;
+    let mut fe = Frontend::new(config);
+    let mut bench = GdprBench::new(seed, 60);
+    let controller = Session::new(Actor::Controller);
+    let subject = Session::new(Actor::Subject);
+    let mut outcomes = Vec::new();
+    for chunk in bench.load_phase(records).chunks(batch_size) {
+        for r in fe.submit_ops(&controller, chunk) {
+            outcomes.push(r.outcome);
+        }
+    }
+    for chunk in bench.ops(txns, Mix::wcus()).chunks(batch_size) {
+        for r in fe.submit_ops(&subject, chunk) {
+            outcomes.push(r.outcome);
+        }
+    }
+    let work = fe.meter().snapshot();
+    // GDPRBench payloads embed a "person=" marker; the residual count is
+    // the physical-retention fingerprint of the whole run.
+    let residuals = fe.forensic().scan(b"person=").total();
+    (outcomes, work, residuals)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Batch-submit ≡ sequential-execute, on heap and LSM: the reply
+    /// stream, the meter snapshot, and the forensic-residual count all
+    /// agree between single-request submissions and arbitrary batch
+    /// sizes.
+    #[test]
+    fn batch_submit_matches_sequential_execute(
+        seed in 0u64..10_000,
+        batch_size in 2usize..96,
+        txns in 40usize..120,
+    ) {
+        for backend in BackendKind::ALL {
+            for profile in [ProfileKind::PBase, ProfileKind::PSys] {
+                let sequential = run(backend, profile, seed, 60, txns, 1);
+                let batched = run(backend, profile, seed, 60, txns, batch_size);
+                prop_assert_eq!(
+                    &sequential.0,
+                    &batched.0,
+                    "{:?}/{:?}: reply streams diverged (batch={})",
+                    backend,
+                    profile,
+                    batch_size
+                );
+                prop_assert_eq!(
+                    sequential.1,
+                    batched.1,
+                    "{:?}/{:?}: meter snapshots diverged (batch={})",
+                    backend,
+                    profile,
+                    batch_size
+                );
+                prop_assert_eq!(
+                    sequential.2,
+                    batched.2,
+                    "{:?}/{:?}: forensic residuals diverged (batch={})",
+                    backend,
+                    profile,
+                    batch_size
+                );
+            }
+        }
+    }
+
+    /// The erasure compliance path obeys the same parity: a batch of
+    /// erase requests equals one-by-one erasure, down to the forensic
+    /// residual count.
+    #[test]
+    fn erase_batches_match_sequential_erasure(
+        seed in 0u64..10_000,
+        erased_keys in proptest::collection::vec(0u64..40, 1..12),
+    ) {
+        for backend in BackendKind::ALL {
+            let mk = || {
+                let mut config = EngineConfig::p_sys().with_backend(backend);
+                config.tuple_encryption = None;
+                let mut fe = Frontend::new(config);
+                let mut bench = GdprBench::new(seed, 60);
+                fe.submit_ops(&Session::new(Actor::Controller), &bench.load_phase(40));
+                fe
+            };
+            let controller = Session::new(Actor::Controller);
+            let requests: Vec<Request> = erased_keys
+                .iter()
+                .map(|&key| Request::Erase {
+                    key,
+                    interpretation: ErasureInterpretation::PermanentlyDeleted,
+                })
+                .collect();
+
+            let mut fe_seq = mk();
+            let seq: Vec<_> = requests
+                .iter()
+                .map(|r| fe_seq.run(&controller, r.clone()).outcome)
+                .collect();
+            let seq_residuals = fe_seq.forensic().scan(b"person=").total();
+
+            let mut fe_batch = mk();
+            let batch: Vec<_> = fe_batch
+                .submit(&controller, &Batch::from(requests))
+                .into_iter()
+                .map(|r| r.outcome)
+                .collect();
+            let batch_residuals = fe_batch.forensic().scan(b"person=").total();
+
+            prop_assert_eq!(&seq, &batch, "{:?}: erase outcomes diverged", backend);
+            prop_assert_eq!(
+                seq_residuals,
+                batch_residuals,
+                "{:?}: erase residuals diverged",
+                backend
+            );
+        }
+    }
+}

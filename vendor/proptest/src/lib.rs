@@ -304,7 +304,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::Range;
 
-    /// Ranges of collection sizes accepted by [`vec`].
+    /// Ranges of collection sizes accepted by [`vec()`].
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         lo: usize,
