@@ -9,12 +9,40 @@ use crate::record::{HmacChain, LogRecord};
 
 /// A logging backend: persists records, accounts bytes, stays
 /// tamper-evident, and supports per-unit redaction.
+///
+/// Persisting a record is split into two halves so a pipelined engine can
+/// keep its simulated cost stream identical to sequential execution:
+/// [`charge`](AuditLogger::charge) pays the record's costs at the instant
+/// the operation happens (only the payload *length* is needed), and
+/// [`append_precharged`](AuditLogger::append_precharged) commits the
+/// finished record — possibly later, once deferred payload work (e.g.
+/// parallel decryption) has completed — without charging again. The plain
+/// [`log`](AuditLogger::log) is the sequential composition of the two.
 pub trait AuditLogger: Send {
     /// Backend display name.
     fn name(&self) -> &'static str;
 
-    /// Persist one record (charges log costs).
-    fn log(&mut self, rec: LogRecord);
+    /// Persist one record (charges log costs): exactly
+    /// `charge(&rec, rec.payload.len())` then `append_precharged(rec)`.
+    fn log(&mut self, rec: LogRecord) {
+        self.charge(&rec, rec.payload.len());
+        self.append_precharged(rec);
+    }
+
+    /// Charge the simulated costs of persisting `rec` as if its payload
+    /// held `payload_len` bytes, without storing anything. `rec.payload`
+    /// may still be empty at charge time — only the final length drives
+    /// costs (log bytes, AES work), never the content.
+    fn charge(&mut self, rec: &LogRecord, payload_len: usize);
+
+    /// Commit a record whose costs were already charged via
+    /// [`charge`](AuditLogger::charge). The record joins the store and the
+    /// tamper-evidence chain in call order.
+    fn append_precharged(&mut self, rec: LogRecord);
+
+    /// The chain's current head MAC, resealing pending redactions first —
+    /// a 32-byte digest two logs can be compared by.
+    fn chain_head(&mut self) -> [u8; 32];
 
     /// Retained records.
     fn records(&self) -> usize;
@@ -69,12 +97,17 @@ impl LogCore {
         }
     }
 
-    fn push(&mut self, rec: LogRecord) {
-        let size = rec.size();
+    /// Pay for a record of `size` stored bytes (clock + meter + space
+    /// accounting) without storing anything yet.
+    fn charge(&mut self, size: usize) {
         self.clock.charge(self.clock.model().log_cost(size));
         Meter::bump(&self.meter.log_records, 1);
         Meter::bump(&self.meter.log_bytes, size as u64);
         self.bytes += size as u64;
+    }
+
+    /// Store a record whose costs were already charged.
+    fn store(&mut self, rec: LogRecord) {
         self.chain.extend(&rec.chain_bytes());
         if let Some(unit) = rec.unit {
             self.by_unit
@@ -141,6 +174,14 @@ impl LogCore {
         )
     }
 
+    fn head(&mut self) -> [u8; 32] {
+        if self.chain_dirty {
+            self.reseal();
+            self.chain_dirty = false;
+        }
+        self.chain.head()
+    }
+
     fn expire_before(&mut self, before: datacase_sim::time::Ts) -> usize {
         let before_len = self.records.len();
         self.records.retain(|r| r.at >= before);
@@ -159,6 +200,9 @@ impl LogCore {
         dropped
     }
 }
+
+/// Row cap for [`CsvRowLogger`]: only this many payload bytes are kept.
+const CSV_ROW_CAP: usize = 48;
 
 /// P_Base: CSV row-level response logging. Stores a compact row rendering
 /// of the response — cheap and small.
@@ -180,13 +224,21 @@ impl AuditLogger for CsvRowLogger {
         "csv row-level (P_Base)"
     }
 
-    fn log(&mut self, mut rec: LogRecord) {
-        // Row-level: keep a truncated response row, not the full payload.
-        const ROW_CAP: usize = 48;
-        if rec.payload.len() > ROW_CAP {
-            rec.payload.truncate(ROW_CAP);
+    fn charge(&mut self, rec: &LogRecord, payload_len: usize) {
+        // Row-level: only a truncated response row is stored.
+        let stored = payload_len.min(CSV_ROW_CAP);
+        self.core.charge(rec.size_with(stored));
+    }
+
+    fn append_precharged(&mut self, mut rec: LogRecord) {
+        if rec.payload.len() > CSV_ROW_CAP {
+            rec.payload.truncate(CSV_ROW_CAP);
         }
-        self.core.push(rec);
+        self.core.store(rec);
+    }
+
+    fn chain_head(&mut self) -> [u8; 32] {
+        self.core.head()
     }
 
     fn records(&self) -> usize {
@@ -207,6 +259,17 @@ impl AuditLogger for CsvRowLogger {
     fn expire_before(&mut self, before: datacase_sim::time::Ts) -> usize {
         self.core.expire_before(before)
     }
+}
+
+/// The query text [`FullQueryLogger`] synthesises for a record.
+fn query_text(rec: &LogRecord) -> String {
+    format!(
+        "{} unit={} purpose={} entity={};",
+        rec.op,
+        rec.unit.map(|u| u.0).unwrap_or(0),
+        rec.purpose,
+        rec.entity
+    )
 }
 
 /// P_GBench: full query + response logging ("logging all queries and
@@ -230,19 +293,23 @@ impl AuditLogger for FullQueryLogger {
         "full query+response (P_GBench)"
     }
 
-    fn log(&mut self, mut rec: LogRecord) {
-        // Synthesise the query text alongside the response payload.
-        let query = format!(
-            "{} unit={} purpose={} entity={};",
-            rec.op,
-            rec.unit.map(|u| u.0).unwrap_or(0),
-            rec.purpose,
-            rec.entity
-        );
-        let mut payload = query.into_bytes();
+    fn charge(&mut self, rec: &LogRecord, payload_len: usize) {
+        // The stored payload is the synthesised query text plus the
+        // response payload.
+        let query_len = query_text(rec).len();
+        self.core
+            .charge(40 + rec.op.len() + query_len + payload_len);
+    }
+
+    fn append_precharged(&mut self, mut rec: LogRecord) {
+        let mut payload = query_text(&rec).into_bytes();
         payload.extend_from_slice(&rec.payload);
         rec.payload = payload;
-        self.core.push(rec);
+        self.core.store(rec);
+    }
+
+    fn chain_head(&mut self) -> [u8; 32] {
+        self.core.head()
     }
 
     fn records(&self) -> usize {
@@ -289,15 +356,23 @@ impl AuditLogger for EncryptedLogger {
         "encrypted AES-128 (P_SYS)"
     }
 
-    fn log(&mut self, mut rec: LogRecord) {
-        let n = rec.payload.len();
+    fn charge(&mut self, rec: &LogRecord, payload_len: usize) {
         self.core
             .clock
-            .charge(self.core.clock.model().aes_cost(128, n));
-        Meter::bump(&self.core.meter.crypto_bytes, n as u64);
+            .charge(self.core.clock.model().aes_cost(128, payload_len));
+        Meter::bump(&self.core.meter.crypto_bytes, payload_len as u64);
+        // AES-CTR: ciphertext length equals plaintext length.
+        self.core.charge(rec.size_with(payload_len));
+    }
+
+    fn append_precharged(&mut self, mut rec: LogRecord) {
         self.cipher
             .apply(AesCtr::iv_from_nonce(rec.seq), &mut rec.payload);
-        self.core.push(rec);
+        self.core.store(rec);
+    }
+
+    fn chain_head(&mut self) -> [u8; 32] {
+        self.core.head()
     }
 
     fn records(&self) -> usize {
@@ -424,6 +499,34 @@ mod tests {
         let mut csv = CsvRowLogger::new(b"k", clock, meter);
         csv.log(rec(1, 1, &vec![9u8; 500]));
         assert!(csv.bytes() < 200, "row-level keeps it compact");
+    }
+
+    #[test]
+    fn charge_then_append_equals_log() {
+        // The split halves must compose to exactly what log() does —
+        // same bytes, same meter counts, same clock charges, same chain.
+        for (mut split, mut whole) in backends().into_iter().zip(backends()) {
+            let r = rec(1, 1, b"some-payload-bytes");
+            split.charge(&r, r.payload.len());
+            split.append_precharged(r.clone());
+            whole.log(r);
+            assert_eq!(split.records(), whole.records(), "{}", split.name());
+            assert_eq!(split.bytes(), whole.bytes(), "{}", split.name());
+            assert_eq!(split.chain_head(), whole.chain_head(), "{}", split.name());
+        }
+    }
+
+    #[test]
+    fn chain_head_distinguishes_diverging_logs() {
+        let clock = SimClock::commodity();
+        let meter = Arc::new(Meter::new());
+        let mut a = CsvRowLogger::new(b"k", clock.clone(), meter.clone());
+        let mut b = CsvRowLogger::new(b"k", clock, meter);
+        a.log(rec(1, 1, b"same"));
+        b.log(rec(1, 1, b"same"));
+        assert_eq!(a.chain_head(), b.chain_head());
+        b.log(rec(2, 1, b"extra"));
+        assert_ne!(a.chain_head(), b.chain_head());
     }
 
     #[test]

@@ -30,7 +30,14 @@ pub struct LogRecord {
 impl LogRecord {
     /// Serialized size estimate (for space accounting and log costs).
     pub fn size(&self) -> usize {
-        40 + self.op.len() + self.payload.len()
+        self.size_with(self.payload.len())
+    }
+
+    /// [`size`](LogRecord::size) as if the payload held `payload_len`
+    /// bytes — what loggers charge before a deferred payload is filled
+    /// in. Keep in lockstep with [`size`](LogRecord::size).
+    pub fn size_with(&self, payload_len: usize) -> usize {
+        40 + self.op.len() + payload_len
     }
 
     /// Canonical bytes fed to the HMAC chain.

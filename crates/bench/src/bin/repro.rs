@@ -2,8 +2,11 @@
 //!
 //! Usage:
 //! ```text
-//! repro [--quick] [fig1|fig3|fig4a|fig4b|fig4c|table1|table2|backends|invariants|ablations|checks|all]
+//! repro [--quick] [fig1|fig3|fig4a|fig4b|fig4c|table1|table2|backends|pipeline|invariants|ablations|checks|all]
 //! ```
+//!
+//! `pipeline` additionally writes the measured cells to
+//! `BENCH_pipeline.json` (the repo's wall-clock perf trajectory).
 //!
 //! `--quick` divides record/transaction counts by 10 (useful for smoke
 //! runs); the default is paper-faithful sizes (100k records, 10k txns,
@@ -54,6 +57,15 @@ fn main() {
     }
     if want("backends") {
         println!("{}", figures::backend_matrix(scale).render_text());
+    }
+    if want("pipeline") {
+        let (table, points) = figures::pipeline_matrix(scale);
+        println!("{}", table.render_text());
+        let json = figures::pipeline_json(&points, scale);
+        match std::fs::write("BENCH_pipeline.json", &json) {
+            Ok(()) => println!("wrote BENCH_pipeline.json ({} cells)\n", points.len()),
+            Err(e) => println!("could not write BENCH_pipeline.json: {e}\n"),
+        }
     }
     if want("invariants") {
         let (clean, dirty) = figures::invariants_demo();

@@ -28,7 +28,9 @@ use datacase_core::unit::{ErasureStatus, Origin};
 use datacase_core::value::Value;
 use datacase_crypto::ctr::AesCtr;
 use datacase_crypto::vault::KeyVault;
-use datacase_policy::enforcer::{AccessRequest, Decision, PolicyEnforcer};
+use datacase_policy::enforcer::{
+    AccessRequest, Decision, PolicyEnforcer, PolicyEpoch, VersionedEnforcer,
+};
 use datacase_policy::fgac::{FgacConfig, FgacEnforcer};
 use datacase_policy::metatable::MetaTableEnforcer;
 use datacase_policy::rbac::{RbacEnforcer, Role};
@@ -42,6 +44,7 @@ use datacase_storage::heap::HeapDb;
 use datacase_workloads::opstream::{MetaField, MetaSelector};
 
 use crate::error::EngineError;
+use crate::exec::{CachedDecision, DecisionCache, DecryptJob, StagedRead};
 use crate::frontend::{Reply, Request};
 use crate::profiles::{DeleteStrategy, EngineConfig, ProfileKind};
 
@@ -65,22 +68,12 @@ struct KeyMeta {
     ttl: Ts,
 }
 
-/// Session-scoped allow-decision cache (see [`Session::cached`]).
-///
-/// Only *allow* decisions are cached — denials must always re-log their
-/// reason — and a cached allow is reused for at most [`DECISION_TTL`]
-/// simulated nanoseconds, so a policy expiring mid-session is observed
-/// promptly. Any policy mutation clears the cache wholesale.
-///
-/// [`Session::cached`]: crate::frontend::Session::cached
-#[derive(Default)]
-struct DecisionCache {
-    enabled: bool,
-    allows: HashMap<(UnitId, EntityId, PurposeId, ActionKind), Ts>,
+/// A denied access: the typed error plus its already-charged DENIED
+/// audit record (boxed — denials are the cold path).
+pub(crate) struct DeniedAccess {
+    pub error: EngineError,
+    pub record: LogRecord,
 }
-
-/// How long a cached allow decision may be reused (1 simulated ms).
-const DECISION_TTL: u64 = 1_000_000;
 
 /// The compliant database engine.
 ///
@@ -90,7 +83,7 @@ const DECISION_TTL: u64 = 1_000_000;
 pub struct CompliantDb {
     config: EngineConfig,
     backend: Box<dyn StorageBackend>,
-    enforcer: Box<dyn PolicyEnforcer>,
+    enforcer: VersionedEnforcer,
     logger: Box<dyn AuditLogger>,
     vault: Option<KeyVault>,
     state: DatabaseState,
@@ -109,6 +102,12 @@ pub struct CompliantDb {
     clock: SimClock,
     meter: Arc<Meter>,
     decisions: DecisionCache,
+    workers: usize,
+    /// Pipelined-span mode: audit records are charged and sequenced
+    /// immediately but queued in `pending_log` instead of entering the
+    /// store, until the span flushes (see `datacase_engine::exec`).
+    deferred: bool,
+    pending_log: Vec<LogRecord>,
     deletes_since_maintenance: u64,
     ops_since_checkpoint: u64,
     log_seq: u64,
@@ -197,10 +196,18 @@ impl CompliantDb {
             )),
         };
 
+        let workers = match config.pipeline_workers {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8),
+            n => n,
+        };
+        let decisions = DecisionCache::new(config.decision_cache);
         let mut db = CompliantDb {
             config,
             backend,
-            enforcer,
+            enforcer: VersionedEnforcer::new(enforcer),
             logger,
             vault,
             state: DatabaseState::new(),
@@ -218,7 +225,10 @@ impl CompliantDb {
             by_subject: HashMap::new(),
             clock,
             meter,
-            decisions: DecisionCache::default(),
+            decisions,
+            workers,
+            deferred: false,
+            pending_log: Vec::new(),
             deletes_since_maintenance: 0,
             ops_since_checkpoint: 0,
             log_seq: 0,
@@ -350,15 +360,82 @@ impl CompliantDb {
         self.log_seq
     }
 
-    /// Enable or disable the session decision cache for subsequent ops.
-    pub(crate) fn set_decision_cache(&mut self, enabled: bool) {
-        self.decisions.enabled = enabled;
+    /// The current policy epoch: bumped by every policy-mutating action
+    /// (grant, revocation, erasure, metadata update). Cached decisions
+    /// stamped at an older epoch for a touched unit class are
+    /// structurally unreachable.
+    pub fn policy_epoch(&self) -> PolicyEpoch {
+        self.enforcer.epoch()
     }
 
-    /// Drop all cached allow decisions (any policy mutation must call
-    /// this — grants, revocations, erasures, sweeps).
-    pub(crate) fn invalidate_decisions(&mut self) {
-        self.decisions.allows.clear();
+    /// Worker threads the pipeline's apply stage may fan out across.
+    pub(crate) fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Live decision-cache entries (tests).
+    #[cfg(test)]
+    pub(crate) fn cached_decisions(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// Route a fully-charged record into the log: straight into the
+    /// store normally, or onto the deferred queue during a pipelined
+    /// span. Queue order equals sequence order, so the chain extends
+    /// identically either way.
+    fn push_record(&mut self, rec: LogRecord) {
+        if self.deferred {
+            self.pending_log.push(rec);
+        } else {
+            self.logger.append_precharged(rec);
+        }
+    }
+
+    /// Enter or leave deferred-append mode (the pipeline driver flushes
+    /// the queue before leaving).
+    pub(crate) fn set_deferred(&mut self, deferred: bool) {
+        debug_assert!(
+            deferred || self.pending_log.is_empty(),
+            "flush before leaving"
+        );
+        self.deferred = deferred;
+    }
+
+    /// Patch a deferred record's payload (decrypted by the apply stage).
+    pub(crate) fn fill_deferred(&mut self, slot: usize, payload: Vec<u8>) {
+        self.pending_log[slot].payload = payload;
+    }
+
+    /// Commit the deferred queue to the log store in sequence order (the
+    /// pipeline's account stage).
+    pub(crate) fn commit_deferred(&mut self) {
+        for rec in std::mem::take(&mut self.pending_log) {
+            self.logger.append_precharged(rec);
+        }
+    }
+
+    /// Build the next audit record: the sequence number is assigned
+    /// here, so record-creation order is sequence order on every path
+    /// (serial and staged alike).
+    fn new_record(
+        &mut self,
+        at: Ts,
+        unit: Option<UnitId>,
+        entity: EntityId,
+        purpose: PurposeId,
+        op: &str,
+        payload: Vec<u8>,
+    ) -> LogRecord {
+        LogRecord {
+            seq: self.next_log(),
+            at,
+            unit,
+            entity,
+            purpose,
+            op: op.to_owned(),
+            payload,
+            redacted: false,
+        }
     }
 
     fn log(
@@ -369,34 +446,42 @@ impl CompliantDb {
         op: &str,
         payload: &[u8],
     ) {
-        let seq = self.next_log();
-        self.logger.log(LogRecord {
-            seq,
-            at: self.clock.now(),
-            unit,
-            entity,
-            purpose,
-            op: op.to_owned(),
-            payload: payload.to_vec(),
-            redacted: false,
-        });
+        let now = self.clock.now();
+        let rec = self.new_record(now, unit, entity, purpose, op, payload.to_vec());
+        self.logger.charge(&rec, rec.payload.len());
+        self.push_record(rec);
     }
 
-    fn check(
+    /// The decide stage for one access: resolve through the
+    /// epoch-versioned decision cache, evaluating the enforcer only on a
+    /// miss. On denial the (already-charged) DENIED audit record is
+    /// handed back to the caller, who appends it immediately (serial
+    /// path) or defers it to the account stage (wave path) — either way
+    /// it joins the log at the sequence number assigned here.
+    fn decide(
         &mut self,
         unit: UnitId,
         entity: EntityId,
         purpose: PurposeId,
         action: ActionKind,
-    ) -> Result<(), EngineError> {
+    ) -> Result<(), Box<DeniedAccess>> {
         if self.config.profile == ProfileKind::Stock {
             return Ok(()); // vanilla engine: no enforcement at all
         }
         let now = self.clock.now();
-        if self.decisions.enabled {
-            if let Some(&at) = self.decisions.allows.get(&(unit, entity, purpose, action)) {
-                if now.0.saturating_sub(at.0) <= DECISION_TTL {
-                    return Ok(());
+        let key = (self.enforcer.unit_class(unit), entity, purpose, action);
+        if self.decisions.enabled() {
+            if let Some(cached) = self.decisions.lookup(&key, &self.enforcer, now) {
+                match &cached.deny_reason {
+                    None => return Ok(()),
+                    Some(reason) => {
+                        // A cached denial skips re-evaluation but still
+                        // answers for its work: the denial is metered and
+                        // re-logged with its cached reason.
+                        let reason = reason.clone();
+                        Meter::bump(&self.meter.denials, 1);
+                        return Err(self.denied_record(unit, entity, purpose, reason));
+                    }
                 }
             }
         }
@@ -407,29 +492,69 @@ impl CompliantDb {
             action,
             at: now,
         };
-        match self.enforcer.check(&req) {
-            Decision::Allow => {
-                if self.decisions.enabled {
-                    self.decisions
-                        .allows
-                        .insert((unit, entity, purpose, action), now);
-                }
-                Ok(())
-            }
-            Decision::Deny(reason) => {
-                self.denied += 1;
-                let seq = self.next_log();
-                self.logger.log(LogRecord {
-                    seq,
-                    at: self.clock.now(),
-                    unit: Some(unit),
-                    entity,
-                    purpose,
-                    op: "DENIED".into(),
-                    payload: reason.clone().into_bytes(),
-                    redacted: false,
-                });
-                Err(EngineError::Denied { reason })
+        let stamped = self.enforcer.decide_at(self.enforcer.epoch(), &req);
+        let deny_reason = match &stamped.decision {
+            Decision::Allow => None,
+            Decision::Deny(reason) => Some(reason.clone()),
+        };
+        if self.decisions.enabled() {
+            self.decisions.insert(
+                key,
+                CachedDecision {
+                    epoch: stamped.epoch,
+                    until: stamped.valid_until,
+                    deny_reason: deny_reason.clone(),
+                },
+                &self.enforcer,
+                now,
+            );
+        }
+        match deny_reason {
+            None => Ok(()),
+            Some(reason) => Err(self.denied_record(unit, entity, purpose, reason)),
+        }
+    }
+
+    /// Account a denial: bump the counter, assign the audit sequence
+    /// number, and charge the DENIED record the caller will append.
+    fn denied_record(
+        &mut self,
+        unit: UnitId,
+        entity: EntityId,
+        purpose: PurposeId,
+        reason: String,
+    ) -> Box<DeniedAccess> {
+        self.denied += 1;
+        let now = self.clock.now();
+        let rec = self.new_record(
+            now,
+            Some(unit),
+            entity,
+            purpose,
+            "DENIED",
+            reason.clone().into_bytes(),
+        );
+        self.logger.charge(&rec, rec.payload.len());
+        Box::new(DeniedAccess {
+            error: EngineError::Denied { reason },
+            record: rec,
+        })
+    }
+
+    /// [`decide`](CompliantDb::decide) with the denial's audit record
+    /// routed into the log immediately (store or deferred queue).
+    fn check(
+        &mut self,
+        unit: UnitId,
+        entity: EntityId,
+        purpose: PurposeId,
+        action: ActionKind,
+    ) -> Result<(), EngineError> {
+        match self.decide(unit, entity, purpose, action) {
+            Ok(()) => Ok(()),
+            Err(denied) => {
+                self.push_record(denied.record);
+                Err(denied.error)
             }
         }
     }
@@ -483,12 +608,7 @@ impl CompliantDb {
         if !matches!(request, Request::Erase { .. } | Request::Restore { .. }) {
             // Workload ops drive the checkpoint cadence; the compliance
             // path (erase/restore) never did and still does not.
-            self.ops_since_checkpoint += 1;
-            if self.ops_since_checkpoint >= self.config.checkpoint_every {
-                self.ops_since_checkpoint = 0;
-                self.backend.checkpoint();
-                self.backend.recycle_logs();
-            }
+            self.tick_cadence();
         }
         match request {
             Request::Create {
@@ -507,6 +627,19 @@ impl CompliantDb {
                 interpretation,
             } => self.op_erase(*key, *interpretation, actor),
             Request::Restore { key } => self.op_restore(*key, actor),
+        }
+    }
+
+    /// One workload operation's worth of checkpoint cadence (flush + WAL
+    /// recycle every `checkpoint_every` ops). The pipeline's wave pass
+    /// calls this per staged read; [`apply`](CompliantDb::apply) calls it
+    /// for every serial workload op.
+    pub(crate) fn tick_cadence(&mut self) {
+        self.ops_since_checkpoint += 1;
+        if self.ops_since_checkpoint >= self.config.checkpoint_every {
+            self.ops_since_checkpoint = 0;
+            self.backend.checkpoint();
+            self.backend.recycle_logs();
         }
     }
 
@@ -671,28 +804,145 @@ impl CompliantDb {
         actor: Actor,
         declared: Option<PurposeId>,
     ) -> Result<Reply, EngineError> {
+        let staged = self.stage_read(key, actor, declared);
+        self.finish_staged(staged)
+    }
+
+    /// The decide/charge half of a point read (the pipeline's serial
+    /// pass). Policy check, storage read, decrypt *charges*, history and
+    /// audit accounting all happen here, in submission order; the AES
+    /// work itself is returned as a [`DecryptJob`] for the apply stage.
+    /// AES-CTR preserves length, so the reply is complete without it.
+    pub(crate) fn stage_read(
+        &mut self,
+        key: u64,
+        actor: Actor,
+        declared: Option<PurposeId>,
+    ) -> StagedRead {
         let Some(meta) = self.key_meta.get(&key).copied() else {
-            return Err(EngineError::NotFound { key });
+            return StagedRead::fail(EngineError::NotFound { key });
         };
         let purpose = declared.unwrap_or(match actor {
             Actor::Subject => wk::subject_access(),
             _ => meta.purpose,
         });
         let entity = self.actor_entity(actor, meta.subject);
-        self.check(meta.unit, entity, purpose, ActionKind::Read)?;
+        if let Err(denied) = self.decide(meta.unit, entity, purpose, ActionKind::Read) {
+            return StagedRead {
+                outcome: Err(denied.error),
+                pending: Some(denied.record),
+                job: None,
+            };
+        }
         let Some(stored) = self.backend.read(key, false) else {
-            return Err(self.gone(key, meta.unit));
+            return StagedRead::fail(self.gone(key, meta.unit));
         };
-        let plain = self.decrypt_payload(meta.unit, stored);
+        // Decrypt accounting now, AES work deferred.
+        let mut payload = Vec::new();
+        let mut job = None;
+        let plain_len = match &self.vault {
+            Some(vault) => match vault.cipher(meta.unit.0) {
+                Ok(cipher) => {
+                    let bits = cipher.key_size().bits();
+                    self.clock
+                        .charge(self.clock.model().aes_cost(bits, stored.len()));
+                    Meter::bump(&self.meter.crypto_bytes, stored.len() as u64);
+                    let len = stored.len();
+                    job = Some(DecryptJob {
+                        slot: 0, // assigned when the record is queued
+                        shard: meta.unit.0,
+                        iv: AesCtr::iv_from_nonce(meta.unit.0),
+                        cipher,
+                        data: stored,
+                    });
+                    len
+                }
+                Err(_) => 0, // crypto-erased: unreadable
+            },
+            None => {
+                payload = stored;
+                payload.len()
+            }
+        };
+        let now = self.clock.now();
         self.history.record(HistoryTuple {
             unit: meta.unit,
             purpose,
             entity,
             action: Action::Read,
-            at: self.clock.now(),
+            at: now,
         });
-        self.log(Some(meta.unit), entity, purpose, "SELECT", &plain);
-        Ok(Reply::Value(plain.len()))
+        let rec = self.new_record(now, Some(meta.unit), entity, purpose, "SELECT", payload);
+        self.logger.charge(&rec, plain_len);
+        StagedRead {
+            outcome: Ok(Reply::Value(plain_len)),
+            pending: Some(rec),
+            job,
+        }
+    }
+
+    /// Run a staged read to completion inline (serial execution): do the
+    /// deferred AES work and route the audit record into the log
+    /// immediately.
+    fn finish_staged(&mut self, staged: StagedRead) -> Result<Reply, EngineError> {
+        let StagedRead {
+            outcome,
+            pending,
+            job,
+        } = staged;
+        if let Some(mut rec) = pending {
+            if let Some(mut job) = job {
+                job.run();
+                rec.payload = job.data;
+            }
+            self.push_record(rec);
+        }
+        outcome
+    }
+
+    /// A point read within a pipelined span: the audit record joins the
+    /// deferred queue with its payload still encrypted, and the AES work
+    /// comes back as a [`DecryptJob`] addressing that queue slot.
+    pub(crate) fn read_deferred(
+        &mut self,
+        key: u64,
+        actor: Actor,
+        declared: Option<PurposeId>,
+    ) -> (Result<Reply, EngineError>, Option<DecryptJob>) {
+        let staged = self.stage_read(key, actor, declared);
+        self.defer_staged(staged)
+    }
+
+    /// A metadata read within a pipelined span (no payload work — only
+    /// the record append is deferred, preserving queue order).
+    pub(crate) fn read_meta_deferred(
+        &mut self,
+        key: u64,
+        actor: Actor,
+        declared: Option<PurposeId>,
+    ) -> (Result<Reply, EngineError>, Option<DecryptJob>) {
+        let staged = self.stage_read_meta(key, actor, declared);
+        self.defer_staged(staged)
+    }
+
+    fn defer_staged(
+        &mut self,
+        staged: StagedRead,
+    ) -> (Result<Reply, EngineError>, Option<DecryptJob>) {
+        debug_assert!(self.deferred, "deferred reads require span mode");
+        let StagedRead {
+            outcome,
+            pending,
+            mut job,
+        } = staged;
+        if let Some(rec) = pending {
+            let slot = self.pending_log.len();
+            self.pending_log.push(rec);
+            if let Some(job) = &mut job {
+                job.slot = slot;
+            }
+        }
+        (outcome, job)
     }
 
     fn op_update(
@@ -760,8 +1010,9 @@ impl CompliantDb {
         if let Some(u) = self.state.unit_mut(meta.unit) {
             u.policies.revoke_all(now);
         }
+        // Revocation bumps the policy epoch, stranding any cached
+        // decisions for the unit's class — no explicit cache flush.
         self.enforcer.revoke_all(meta.unit, now);
-        self.invalidate_decisions();
         if self.config.delete_logs_on_erase {
             self.logger.redact_unit(meta.unit);
         }
@@ -818,12 +1069,25 @@ impl CompliantDb {
         actor: Actor,
         declared: Option<PurposeId>,
     ) -> Result<Reply, EngineError> {
+        let staged = self.stage_read_meta(key, actor, declared);
+        self.finish_staged(staged)
+    }
+
+    /// The decide/charge half of a metadata read. No payload work to
+    /// defer (the row rendering is cheap); only the audit-record append
+    /// moves to the account stage, keeping the wave's log order intact.
+    pub(crate) fn stage_read_meta(
+        &mut self,
+        key: u64,
+        actor: Actor,
+        declared: Option<PurposeId>,
+    ) -> StagedRead {
         let Some(meta) = self.key_meta.get(&key).copied() else {
-            return Err(EngineError::NotFound { key });
+            return StagedRead::fail(EngineError::NotFound { key });
         };
         if let Some(since) = self.erased_since(meta.unit) {
             // The record's metadata row went with the record.
-            return Err(EngineError::RetentionExpired { key, since });
+            return StagedRead::fail(EngineError::RetentionExpired { key, since });
         }
         let (entity, purpose) = match actor {
             Actor::Subject => (
@@ -833,7 +1097,13 @@ impl CompliantDb {
             Actor::Controller => (self.controller, declared.unwrap_or(wk::contract())),
             Actor::Processor => (self.processor, declared.unwrap_or(meta.purpose)),
         };
-        self.check(meta.unit, entity, purpose, ActionKind::ReadMeta)?;
+        if let Err(denied) = self.decide(meta.unit, entity, purpose, ActionKind::ReadMeta) {
+            return StagedRead {
+                outcome: Err(denied.error),
+                pending: Some(denied.record),
+                job: None,
+            };
+        }
         // The metadata row itself: policies + provenance summary.
         let policies = self
             .state
@@ -852,14 +1122,20 @@ impl CompliantDb {
             "key={key} subject={} purpose={} ttl={} policies={policies}",
             meta.subject, meta.purpose, meta.ttl
         );
-        self.log(
+        let rec = self.new_record(
+            now,
             Some(meta.unit),
             entity,
             purpose,
             "SELECT-META",
-            rendered.as_bytes(),
+            rendered.into_bytes(),
         );
-        Ok(Reply::Value(rendered.len()))
+        self.logger.charge(&rec, rec.payload.len());
+        StagedRead {
+            outcome: Ok(Reply::Value(rec.payload.len())),
+            pending: Some(rec),
+            job: None,
+        }
     }
 
     fn op_update_meta(
@@ -903,8 +1179,9 @@ impl CompliantDb {
         if let Some(u) = self.state.unit_mut(meta.unit) {
             u.policies.grant(new_policy, now);
         }
+        // The grant bumps the policy epoch: cached denials for this
+        // unit's class are re-evaluated on their next use.
         self.enforcer.grant(meta.unit, new_policy);
-        self.invalidate_decisions();
         // The metadata-row update is a durable write like any other
         // statement (the paper: "such operations require more metadata
         // access and logging").
@@ -1079,12 +1356,13 @@ impl CompliantDb {
 
     /// The policy enforcer (read-only).
     pub fn enforcer(&self) -> &dyn PolicyEnforcer {
-        self.enforcer.as_ref()
+        self.enforcer.inner()
     }
 
-    /// Mutable enforcer access (erasure executor).
-    pub(crate) fn enforcer_mut(&mut self) -> &mut dyn PolicyEnforcer {
-        self.enforcer.as_mut()
+    /// Mutable access to the versioned enforcer (erasure executor) —
+    /// mutations through it bump the policy epoch.
+    pub(crate) fn enforcer_mut(&mut self) -> &mut VersionedEnforcer {
+        &mut self.enforcer
     }
 
     /// The audit logger (read-only).
@@ -1375,6 +1653,30 @@ mod tests {
             },
         );
         assert!(r.rows().is_some(), "expected rows, got {:?}", r.outcome);
+    }
+
+    #[test]
+    fn decision_cache_respects_capacity_and_is_deterministic() {
+        let run = |capacity: usize| {
+            let mut config = EngineConfig::p_sys().with_decision_cache(capacity);
+            config.maintenance_every = 50;
+            let mut fe = Frontend::new(config);
+            let mut bench = GdprBench::new(21, 50);
+            load(&mut fe, &mut bench, 60);
+            let ops = bench.ops(300, Mix::wcus());
+            fe.submit_ops(&Session::new(Actor::Subject), &ops);
+            (fe.db().cached_decisions(), fe.meter().snapshot())
+        };
+        let (live, work) = run(8);
+        assert!(live <= 8, "cache exceeded capacity: {live}");
+        // Determinism: the same stream against the same capacity makes
+        // identical eviction choices, so the work counters agree exactly.
+        let (live2, work2) = run(8);
+        assert_eq!(live, live2);
+        assert_eq!(work, work2);
+        // A larger cache only removes work, never changes outcomes.
+        let (_, work_big) = run(4096);
+        assert!(work_big.policy_checks <= work.policy_checks);
     }
 
     #[test]

@@ -139,8 +139,10 @@ pub(crate) fn erase_now(
     if let Some(u) = db.state_mut().unit_mut(unit) {
         u.policies.revoke_all(at);
     }
+    // Revocation through the versioned enforcer bumps the policy epoch:
+    // every cached decision for the unit's class is structurally stale
+    // from here on, in this session and every other.
     db.enforcer_mut().revoke_all(unit, at);
-    db.invalidate_decisions();
     db.state_mut().mark_erased(unit, status, at);
     db.record_history(HistoryTuple {
         unit,

@@ -36,8 +36,6 @@
 //! clearly-marked guard for tests, probes, and seized-disk simulations.
 //! It bypasses enforcement and must never appear on a production path.
 
-use std::borrow::Borrow;
-
 use datacase_core::grounding::erasure::ErasureInterpretation;
 use datacase_core::history::HistoryTuple;
 use datacase_core::ids::UnitId;
@@ -365,7 +363,6 @@ pub struct Session {
     actor: Actor,
     purpose: Option<PurposeId>,
     deadline: Option<Ts>,
-    cached: bool,
 }
 
 impl Session {
@@ -377,7 +374,6 @@ impl Session {
             actor,
             purpose: None,
             deadline: None,
-            cached: false,
         }
     }
 
@@ -393,17 +389,6 @@ impl Session {
     /// `deadline` (engine time) are denied wholesale at admission.
     pub fn until(mut self, deadline: Ts) -> Session {
         self.deadline = Some(deadline);
-        self
-    }
-
-    /// Enable the per-frontend policy-decision cache for this session's
-    /// batches: repeated *allow* decisions for the same (unit, entity,
-    /// purpose, action) are reused for up to one simulated millisecond,
-    /// amortizing enforcement cost over hot keys. Any policy mutation
-    /// (delete, erasure, metadata update, sweep) invalidates the cache.
-    /// Off by default so paper-faithful cost measurements are unaffected.
-    pub fn cached(mut self) -> Session {
-        self.cached = true;
         self
     }
 
@@ -465,70 +450,51 @@ impl Frontend {
     /// This is the single enforcement choke point: session admission
     /// (deadline), purpose resolution, policy checks, audit-ref
     /// assignment, and checkpoint cadence all happen here and nowhere
-    /// else. Submitting one batch of *n* requests is semantically
-    /// identical to submitting *n* single-request batches (the
-    /// `prop_frontend` parity suite holds the engine to that) — which is
-    /// why the deadline gate is evaluated per request: a deadline
-    /// crossing mid-batch denies the tail exactly as single-request
-    /// submissions would.
+    /// else — execution itself runs through the staged batch pipeline
+    /// ([`crate::exec`]): requests are *planned* into read waves and
+    /// serial barriers, *decided* against the epoch-versioned policy
+    /// cache, *applied* (read payload work fans out across scoped worker
+    /// threads), and *accounted* (audit records committed in batch
+    /// order). Submitting one batch of *n* requests is semantically
+    /// identical to submitting *n* single-request batches, and pipelined
+    /// execution is observably identical to serial execution down to the
+    /// audit chain's bytes (the `prop_frontend` parity suite holds the
+    /// engine to both) — which is why the deadline gate is evaluated per
+    /// request: a deadline crossing mid-batch denies the tail exactly as
+    /// single-request submissions would.
     pub fn submit(&mut self, session: &Session, batch: &Batch) -> Vec<Response> {
-        self.submit_with(session, batch.requests(), batch.len())
+        crate::exec::execute(&mut self.db, session, batch.requests())
     }
 
     /// Submit a single request (a one-element batch).
     pub fn run(&mut self, session: &Session, request: Request) -> Response {
-        self.submit_with(session, std::iter::once(&request), 1)
+        crate::exec::execute(&mut self.db, session, std::slice::from_ref(&request))
             .pop()
             .expect("one request in, one response out")
     }
 
     /// Submit a workload op stream as one batch under `session`.
     ///
-    /// Ops are converted to [`Request`]s one at a time (each conversion
-    /// clones the op's payload), so the whole stream is never
-    /// materialized as a second `Batch` copy.
+    /// Ops are converted (each conversion clones the op's payload into
+    /// its [`Request`]) and executed in bounded sub-batches, so the whole
+    /// stream is never materialized as a second copy; response indices
+    /// still number the full stream. Sub-batching is invisible by the
+    /// batch-parity contract — splitting a batch never changes results.
     pub fn submit_ops(&mut self, session: &Session, ops: &[Op]) -> Vec<Response> {
-        self.submit_with(session, ops.iter().map(Request::from), ops.len())
-    }
-
-    /// The one code path every submission funnels through.
-    fn submit_with<I>(&mut self, session: &Session, requests: I, capacity: usize) -> Vec<Response>
-    where
-        I: IntoIterator,
-        I::Item: Borrow<Request>,
-    {
-        self.db.set_decision_cache(session.cached);
-        let mut responses = Vec::with_capacity(capacity);
-        for (index, request) in requests.into_iter().enumerate() {
-            // Admission control: a session past its deadline is denied
-            // without touching enforcement — checked per request, so a
-            // deadline crossing mid-batch behaves exactly like it would
-            // across single-request submissions.
-            let admitted = session
-                .deadline
-                .map(|d| self.db.clock().now() <= d)
-                .unwrap_or(true);
-            let seq_before = self.db.log_seq();
-            let outcome = if admitted {
-                self.db
-                    .apply(request.borrow(), session.actor, session.purpose)
-            } else {
-                Err(EngineError::Denied {
-                    reason: "session deadline passed".into(),
-                })
-            };
-            let seq_after = self.db.log_seq();
-            responses.push(Response {
-                index,
-                outcome,
-                audit: AuditRef {
-                    start: seq_before + 1,
-                    records: seq_after - seq_before,
-                    at: self.db.clock().now(),
-                },
-            });
+        const SUBMIT_CHUNK: usize = 1024;
+        let mut responses = Vec::with_capacity(ops.len());
+        for (chunk_idx, chunk) in ops.chunks(SUBMIT_CHUNK).enumerate() {
+            let requests: Vec<Request> = chunk.iter().map(Request::from).collect();
+            let offset = chunk_idx * SUBMIT_CHUNK;
+            responses.extend(
+                crate::exec::execute(&mut self.db, session, &requests)
+                    .into_iter()
+                    .map(|mut r| {
+                        r.index += offset;
+                        r
+                    }),
+            );
         }
-        self.db.set_decision_cache(false);
         responses
     }
 
@@ -572,6 +538,14 @@ impl Frontend {
     /// Number of requests denied by policy enforcement so far.
     pub fn denied(&self) -> u64 {
         self.db.denied()
+    }
+
+    /// The engine's current policy epoch: bumped by every policy-mutating
+    /// action (grant, revocation, erasure, metadata update). Decision
+    /// caching is correct because entries stamped below the epoch of
+    /// their unit class are structurally unreachable.
+    pub fn policy_epoch(&self) -> datacase_policy::enforcer::PolicyEpoch {
+        self.db.policy_epoch()
     }
 
     /// Unit id stored under a key.
@@ -695,6 +669,14 @@ impl Forensic<'_> {
     /// Verify the audit log's tamper-evident chain.
     pub fn verify_chain(&mut self) -> bool {
         self.db.logger_mut().verify_chain()
+    }
+
+    /// The audit chain's head MAC — a 32-byte digest over every record's
+    /// bytes in order. Two engines whose heads match hold byte-identical
+    /// audit chains (the pipeline-parity gate compares pipelined and
+    /// serial runs through this).
+    pub fn chain_head(&mut self) -> [u8; 32] {
+        self.db.logger_mut().chain_head()
     }
 }
 
@@ -828,12 +810,9 @@ mod tests {
 
     #[test]
     fn decision_cache_amortizes_policy_checks_without_changing_replies() {
-        let run = |cached: bool| -> (Vec<Result<Reply, EngineError>>, u64) {
-            let (mut fe, _) = loaded(EngineConfig::p_sys(), 10);
-            let mut session = Session::new(Actor::Processor);
-            if cached {
-                session = session.cached();
-            }
+        let run = |capacity: usize| -> (Vec<Result<Reply, EngineError>>, u64) {
+            let (mut fe, _) = loaded(EngineConfig::p_sys().with_decision_cache(capacity), 10);
+            let session = Session::new(Actor::Processor);
             let mut batch = Batch::new();
             for _ in 0..50 {
                 batch.push(Request::Read { key: 1 });
@@ -846,8 +825,8 @@ mod tests {
                 .collect();
             (outcomes, fe.meter().snapshot().policy_checks - before)
         };
-        let (plain_replies, plain_checks) = run(false);
-        let (cached_replies, cached_checks) = run(true);
+        let (plain_replies, plain_checks) = run(0);
+        let (cached_replies, cached_checks) = run(1024);
         assert_eq!(plain_replies, cached_replies, "caching must be invisible");
         assert!(
             cached_checks < plain_checks,
@@ -857,10 +836,12 @@ mod tests {
 
     #[test]
     fn decision_cache_invalidated_by_policy_mutation() {
-        let (mut fe, _) = loaded(EngineConfig::p_sys(), 10);
-        let session = Session::new(Actor::Processor).cached();
+        let (mut fe, _) = loaded(EngineConfig::p_sys().with_decision_cache(1024), 10);
+        let session = Session::new(Actor::Processor);
+        let epoch_before = fe.policy_epoch();
         assert!(fe.run(&session, Request::Read { key: 2 }).value().is_some());
-        // Erase revokes policies; the cached allow must not survive.
+        // Erase revokes policies: the epoch moves, so the cached allow
+        // (stamped at the lower epoch) is structurally stale.
         let controller = Session::new(Actor::Controller);
         assert!(fe
             .run(
@@ -872,10 +853,84 @@ mod tests {
             )
             .outcome
             .is_ok());
+        assert!(fe.policy_epoch() > epoch_before, "erase bumps the epoch");
         let r = fe.run(&session, Request::Read { key: 2 });
         assert!(
             r.outcome.is_err(),
             "stale cached allow leaked: {:?}",
+            r.outcome
+        );
+    }
+
+    #[test]
+    fn cross_session_revoke_invalidates_other_sessions_cached_allow() {
+        // Session B warms the cache with an allow; a revoke issued in
+        // session A (the subject's erasure request) must strand that
+        // entry even though B never observed the mutation: the cache is
+        // frontend-wide and validity is an epoch comparison, so there is
+        // no per-session staleness window at all.
+        for profile in [
+            crate::profiles::ProfileKind::PGBench,
+            crate::profiles::ProfileKind::PSys,
+        ] {
+            let mut config = EngineConfig::for_profile(profile).with_decision_cache(1024);
+            config.delete_strategy = crate::profiles::DeleteStrategy::TombstoneAttribute;
+            let (mut fe, _) = loaded(config, 10);
+            let session_b = Session::new(Actor::Processor);
+            let allowed = fe.run(&session_b, Request::Read { key: 3 });
+            assert!(
+                allowed.value().is_some(),
+                "{profile:?}: {:?}",
+                allowed.outcome
+            );
+            let session_a = Session::new(Actor::Subject);
+            assert!(fe.run(&session_a, Request::Delete { key: 3 }).is_done());
+            let r = fe.run(&session_b, Request::Read { key: 3 });
+            assert!(
+                r.is_denied(),
+                "{profile:?}: session B reused a stale allow: {:?}",
+                r.outcome
+            );
+        }
+    }
+
+    #[test]
+    fn cached_denial_is_reevaluated_after_grant_bumps_epoch() {
+        // The deny-then-grant flow: a processor reading under a purpose
+        // it holds no policy for is denied (and the denial cached); the
+        // controller's metadata update then grants the analytics policy,
+        // bumping the epoch — the cached deny must not outlive it.
+        let (mut fe, _) = loaded(EngineConfig::p_sys().with_decision_cache(1024), 10);
+        let analyst = Session::new(Actor::Processor).for_purpose(wk::analytics());
+        let denied = fe.run(&analyst, Request::Read { key: 4 });
+        assert!(denied.is_denied(), "{:?}", denied.outcome);
+        // Same request again: the denial is served from the cache (no
+        // fresh policy evaluation), but still metered and audit-logged.
+        let before = fe.meter().snapshot();
+        let denied_again = fe.run(&analyst, Request::Read { key: 4 });
+        assert!(denied_again.is_denied());
+        assert!(
+            !denied_again.audit.is_empty(),
+            "cached denials still write DENIED audit records"
+        );
+        let diff = fe.meter().snapshot().diff(&before);
+        assert_eq!(diff.policy_checks, 0, "cached denial skips re-evaluation");
+        assert_eq!(diff.denials, 1, "but the denial itself is metered");
+        // MetaField::Purpose grants the processor an analytics policy.
+        let controller = Session::new(Actor::Controller);
+        assert!(fe
+            .run(
+                &controller,
+                Request::UpdateMeta {
+                    key: 4,
+                    field: MetaField::Purpose,
+                },
+            )
+            .is_done());
+        let r = fe.run(&analyst, Request::Read { key: 4 });
+        assert!(
+            r.value().is_some(),
+            "grant must flip the cached deny: {:?}",
             r.outcome
         );
     }

@@ -21,7 +21,12 @@
 //! [`Actor`], declared purpose, and deadline, and typed [`Request`]s are
 //! submitted as [`Batch`]es — each answered with a [`Response`] whose
 //! outcome is `Result<Reply, EngineError>` plus an [`AuditRef`] into the
-//! audit log. The engine simultaneously maintains the Data-CASE
+//! audit log. Batches execute through the staged pipeline in [`exec`]
+//! (plan → decide → apply → account): policy checks resolve against an
+//! epoch-versioned decision cache, read payload work is coalesced and
+//! fanned out across scoped workers, and audit records commit in batch
+//! order — observably identical to serial execution down to the audit
+//! chain's bytes. The engine simultaneously maintains the Data-CASE
 //! *abstract model* (state + action history from `datacase-core`), so the
 //! compliance checker can audit any run; the erasure executor that maps
 //! grounded interpretations to system-action plans (Table 1) is driven by
@@ -40,6 +45,7 @@ mod db;
 pub mod driver;
 pub mod erasure;
 pub mod error;
+pub mod exec;
 pub mod frontend;
 pub mod pia;
 pub mod profiles;
@@ -53,6 +59,7 @@ pub use driver::{
 };
 pub use erasure::{lsm_erase, probe, probe_on, LsmEraseOutcome};
 pub use error::EngineError;
+pub use exec::RequestClass;
 pub use frontend::{AuditRef, Batch, Forensic, Frontend, Reply, Request, Response, Session};
 pub use pia::{assess, certify, Certificate, PiaReport};
 pub use profiles::{DeleteStrategy, EngineConfig, ProfileKind};

@@ -106,6 +106,30 @@ pub struct EngineConfig {
     pub people: u32,
     /// Use the FGAC policy index (ablation switch; P_SYS only).
     pub fgac_index: bool,
+    /// Capacity (entries) of the epoch-versioned policy-decision cache;
+    /// `0` disables it. Off by default on every paper profile so measured
+    /// enforcement costs stay paper-faithful; production-style runs and
+    /// the pipeline benches turn it on with
+    /// [`EngineConfig::with_decision_cache`]. Decisions (allows **and**
+    /// denials) are stamped with the [`PolicyEpoch`] they were computed
+    /// at and revalidated by epoch comparison — stale entries are
+    /// structurally unreachable, no TTL involved.
+    ///
+    /// [`PolicyEpoch`]: datacase_policy::enforcer::PolicyEpoch
+    pub decision_cache: usize,
+    /// Execute batches through the staged pipeline (plan → decide →
+    /// apply → account) in [`Frontend::submit`]: read-only runs fan
+    /// payload work out across scoped worker threads while the simulated
+    /// cost stream — and therefore replies, meter, and the audit chain —
+    /// stays byte-identical to serial execution (the `prop_frontend`
+    /// parity suite enforces this). On by default.
+    ///
+    /// [`Frontend::submit`]: crate::frontend::Frontend::submit
+    pub pipeline: bool,
+    /// Worker threads for the pipeline's apply stage; `0` picks the host
+    /// parallelism (capped at 8). Sharding of work across workers is by
+    /// unit id, so per-unit ordering is stable.
+    pub pipeline_workers: usize,
 }
 
 impl EngineConfig {
@@ -125,6 +149,9 @@ impl EngineConfig {
             checkpoint_every: 20_000,
             people: 1000,
             fgac_index: true,
+            decision_cache: 0,
+            pipeline: true,
+            pipeline_workers: 0,
         }
     }
 
@@ -143,6 +170,9 @@ impl EngineConfig {
             checkpoint_every: 20_000,
             people: 1000,
             fgac_index: true,
+            decision_cache: 0,
+            pipeline: true,
+            pipeline_workers: 0,
         }
     }
 
@@ -164,6 +194,9 @@ impl EngineConfig {
             checkpoint_every: 20_000,
             people: 1000,
             fgac_index: true,
+            decision_cache: 0,
+            pipeline: true,
+            pipeline_workers: 0,
         }
     }
 
@@ -182,6 +215,9 @@ impl EngineConfig {
             checkpoint_every: 20_000,
             people: 1000,
             fgac_index: true,
+            decision_cache: 0,
+            pipeline: true,
+            pipeline_workers: 0,
         }
     }
 
@@ -198,6 +234,21 @@ impl EngineConfig {
     /// The same configuration over a different storage substrate.
     pub fn with_backend(mut self, backend: BackendKind) -> EngineConfig {
         self.backend = backend;
+        self
+    }
+
+    /// The same configuration with an epoch-versioned decision cache of
+    /// `capacity` entries (`0` disables caching).
+    pub fn with_decision_cache(mut self, capacity: usize) -> EngineConfig {
+        self.decision_cache = capacity;
+        self
+    }
+
+    /// The same configuration with the batch pipeline forced on or off
+    /// (parity harnesses compare both modes; results are identical by
+    /// contract, only wall-clock time differs).
+    pub fn with_pipeline(mut self, pipeline: bool) -> EngineConfig {
+        self.pipeline = pipeline;
         self
     }
 

@@ -1,4 +1,15 @@
-//! The common enforcement interface.
+//! The common enforcement interface, and the versioned wrapper that makes
+//! policy decisions *cacheable without staleness*.
+//!
+//! Every policy-mutating action (grant, revocation, erasure, metadata
+//! update) bumps a monotonic [`PolicyEpoch`]; decisions are evaluated
+//! through [`VersionedEnforcer::decide_at`], which stamps each outcome
+//! with the epoch it was computed at plus a time horizon it provably
+//! holds until. A cache that compares stamps against the current epoch
+//! can therefore never serve a stale decision — invalidation is a
+//! structural property, not a TTL heuristic.
+
+use std::collections::HashMap;
 
 use datacase_core::action::ActionKind;
 use datacase_core::ids::{EntityId, UnitId};
@@ -39,6 +50,64 @@ impl Decision {
     }
 }
 
+/// A monotonic version counter over an enforcer's policy state.
+///
+/// Bumped by every policy-mutating action; two decisions computed at the
+/// same epoch saw the same policy set. `PolicyEpoch` is totally ordered,
+/// so "is this cached decision current?" is one integer comparison.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PolicyEpoch(pub u64);
+
+impl PolicyEpoch {
+    /// The epoch before any mutation.
+    pub const ZERO: PolicyEpoch = PolicyEpoch(0);
+
+    /// The next epoch.
+    pub fn next(self) -> PolicyEpoch {
+        PolicyEpoch(self.0 + 1)
+    }
+}
+
+impl std::fmt::Display for PolicyEpoch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// How finely a mechanism's decisions vary with the data unit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DecisionScope {
+    /// Decisions depend only on (entity, purpose, action) — RBAC's
+    /// coarseness. One cached decision covers every unit.
+    Global,
+    /// Decisions consult per-unit policy state (metadata tables, FGAC).
+    PerUnit,
+}
+
+/// The equivalence class of units a decision covers — the unit component
+/// of a decision-cache key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnitClass {
+    /// Unit-independent (a [`DecisionScope::Global`] mechanism).
+    Global,
+    /// This unit only (a [`DecisionScope::PerUnit`] mechanism).
+    Unit(UnitId),
+}
+
+/// A [`Decision`] stamped with the [`PolicyEpoch`] it was evaluated at and
+/// the instant until which it provably holds absent further mutations
+/// (time-based policy expiry: an allow backed by a policy window ending at
+/// `t_f` is only guaranteed through `t_f`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StampedDecision {
+    /// The outcome.
+    pub decision: Decision,
+    /// The epoch the outcome was computed at.
+    pub epoch: PolicyEpoch,
+    /// The decision holds at any `t <= valid_until` at this epoch.
+    pub valid_until: Ts,
+}
+
 /// A policy enforcement mechanism (one per compliance profile).
 pub trait PolicyEnforcer: Send {
     /// The mechanism's display name.
@@ -66,6 +135,22 @@ pub trait PolicyEnforcer: Send {
     /// Evaluate an access request.
     fn check(&mut self, req: &AccessRequest) -> Decision;
 
+    /// How finely this mechanism's decisions vary with the unit. Coarse
+    /// mechanisms (RBAC) override this to [`DecisionScope::Global`], which
+    /// lets a decision cache reuse one outcome across all units.
+    fn decision_scope(&self) -> DecisionScope {
+        DecisionScope::PerUnit
+    }
+
+    /// Evaluate an access request and additionally report how long the
+    /// outcome provably holds absent policy mutations. The default is the
+    /// conservative choice only for mechanisms whose decisions cannot
+    /// expire with time (roles have no windows); window-based mechanisms
+    /// must override it with the governing policy window's end.
+    fn check_with_horizon(&mut self, req: &AccessRequest) -> (Decision, Ts) {
+        (self.check(req), Ts::MAX)
+    }
+
     /// Metadata bytes this mechanism occupies (policies + indexes).
     fn metadata_bytes(&self) -> u64;
 
@@ -73,13 +158,262 @@ pub trait PolicyEnforcer: Send {
     fn policy_count(&self) -> usize;
 }
 
+/// An enforcer wrapped with epoch versioning: every policy-mutating call
+/// routed through this wrapper bumps the [`PolicyEpoch`] and records which
+/// [`UnitClass`] it touched, so callers holding stamped decisions can tell
+/// — by comparison, not by flushing — whether a decision is still current.
+///
+/// This is the policy-layer half of a versioned decision cache: the cache
+/// itself lives with the caller (it needs the caller's key vocabulary);
+/// the wrapper owns the ground truth of *validity*.
+pub struct VersionedEnforcer {
+    inner: Box<dyn PolicyEnforcer>,
+    epoch: PolicyEpoch,
+    /// Last epoch at which each unit class was mutated. A stamp `s` for
+    /// class `c` is current iff `touched[c] <= s` (or `c` never mutated).
+    touched: HashMap<UnitClass, PolicyEpoch>,
+}
+
+impl std::fmt::Debug for VersionedEnforcer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VersionedEnforcer")
+            .field("inner", &self.inner.name())
+            .field("epoch", &self.epoch)
+            .finish()
+    }
+}
+
+impl VersionedEnforcer {
+    /// Wrap a mechanism, starting at [`PolicyEpoch::ZERO`].
+    pub fn new(inner: Box<dyn PolicyEnforcer>) -> VersionedEnforcer {
+        VersionedEnforcer {
+            inner,
+            epoch: PolicyEpoch::ZERO,
+            touched: HashMap::new(),
+        }
+    }
+
+    /// The current policy epoch.
+    pub fn epoch(&self) -> PolicyEpoch {
+        self.epoch
+    }
+
+    /// The cache-key unit class for `unit` under the wrapped mechanism.
+    pub fn unit_class(&self, unit: UnitId) -> UnitClass {
+        match self.inner.decision_scope() {
+            DecisionScope::Global => UnitClass::Global,
+            DecisionScope::PerUnit => UnitClass::Unit(unit),
+        }
+    }
+
+    /// Is a decision stamped at `epoch` for `class` still current — i.e.
+    /// has no policy mutation touched that class since?
+    pub fn is_current(&self, class: UnitClass, epoch: PolicyEpoch) -> bool {
+        self.touched
+            .get(&class)
+            .map(|&t| t <= epoch)
+            .unwrap_or(true)
+    }
+
+    /// Evaluate `req` as of `observed` (the epoch the caller last saw).
+    ///
+    /// Policy state is only materialized at the current epoch, so the
+    /// evaluation always runs against it; the returned stamp carries the
+    /// epoch the decision is provably valid for, which is ≥ `observed`.
+    /// Callers caching the result must key it by
+    /// [`unit_class`](VersionedEnforcer::unit_class) and revalidate with
+    /// [`is_current`](VersionedEnforcer::is_current).
+    pub fn decide_at(&mut self, observed: PolicyEpoch, req: &AccessRequest) -> StampedDecision {
+        debug_assert!(observed <= self.epoch, "epochs are monotonic");
+        let (decision, valid_until) = self.inner.check_with_horizon(req);
+        StampedDecision {
+            decision,
+            epoch: self.epoch,
+            valid_until,
+        }
+    }
+
+    /// Evaluate without stamping (compatibility surface for callers that
+    /// do not cache).
+    pub fn check(&mut self, req: &AccessRequest) -> Decision {
+        self.inner.check(req)
+    }
+
+    fn touch(&mut self, class: UnitClass) {
+        self.epoch = self.epoch.next();
+        self.touched.insert(class, self.epoch);
+    }
+
+    /// Register a new unit with its initial policies. Does **not** bump
+    /// the epoch: the unit's id is fresh, so no decision about it can
+    /// have been cached, and coarse mechanisms ignore per-unit policies.
+    pub fn register_unit(&mut self, unit: UnitId, policies: &[Policy]) {
+        self.inner.register_unit(unit, policies);
+    }
+
+    /// A new data-subject entity appeared. Does not bump the epoch: the
+    /// entity id is fresh, so no decision naming it can have been cached.
+    pub fn on_new_subject(&mut self, entity: EntityId) {
+        self.inner.on_new_subject(entity);
+    }
+
+    /// Grant an additional policy on a unit (policy-mutating: bumps the
+    /// epoch for the unit's class on per-unit mechanisms; coarse
+    /// mechanisms ignore per-unit grants, so nothing cached can change).
+    pub fn grant(&mut self, unit: UnitId, policy: Policy) {
+        self.inner.grant(unit, policy);
+        if self.inner.decision_scope() == DecisionScope::PerUnit {
+            self.touch(UnitClass::Unit(unit));
+        }
+    }
+
+    /// Revoke all policies on a unit (policy-mutating).
+    pub fn revoke_all(&mut self, unit: UnitId, at: Ts) -> usize {
+        let revoked = self.inner.revoke_all(unit, at);
+        if revoked > 0 || self.inner.decision_scope() == DecisionScope::PerUnit {
+            let class = self.unit_class(unit);
+            self.touch(class);
+        }
+        revoked
+    }
+
+    /// Remove every trace of the unit from policy metadata
+    /// (policy-mutating on per-unit mechanisms; coarse mechanisms keep no
+    /// per-unit state, so their decisions cannot have changed).
+    pub fn forget_unit(&mut self, unit: UnitId) -> u64 {
+        let freed = self.inner.forget_unit(unit);
+        if freed > 0 || self.inner.decision_scope() == DecisionScope::PerUnit {
+            let class = self.unit_class(unit);
+            self.touch(class);
+        }
+        freed
+    }
+
+    /// The wrapped mechanism, read-only.
+    pub fn inner(&self) -> &dyn PolicyEnforcer {
+        self.inner.as_ref()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metatable::MetaTableEnforcer;
+    use crate::rbac::{RbacEnforcer, Role};
+    use datacase_core::purpose::well_known as wk;
+    use datacase_sim::{Meter, SimClock};
+    use std::sync::Arc;
 
     #[test]
     fn decision_is_allow() {
         assert!(Decision::Allow.is_allow());
         assert!(!Decision::Deny("no".into()).is_allow());
+    }
+
+    #[test]
+    fn epoch_is_monotonic_and_ordered() {
+        let e = PolicyEpoch::ZERO;
+        assert!(e < e.next());
+        assert_eq!(e.next().next(), PolicyEpoch(2));
+        assert_eq!(format!("{}", PolicyEpoch(3)), "e3");
+    }
+
+    fn versioned_metatable() -> VersionedEnforcer {
+        let inner = MetaTableEnforcer::new(SimClock::commodity(), Arc::new(Meter::new()));
+        VersionedEnforcer::new(Box::new(inner))
+    }
+
+    fn req(unit: u64, entity: u32, at_secs: u64) -> AccessRequest {
+        AccessRequest {
+            unit: UnitId(unit),
+            entity: EntityId(entity),
+            purpose: wk::billing(),
+            action: ActionKind::Read,
+            at: Ts::from_secs(at_secs),
+        }
+    }
+
+    #[test]
+    fn mutations_bump_the_epoch_per_unit_class() {
+        let mut v = versioned_metatable();
+        assert_eq!(v.epoch(), PolicyEpoch::ZERO);
+        v.register_unit(
+            UnitId(1),
+            &[Policy::open_ended(wk::billing(), EntityId(1), Ts::ZERO)],
+        );
+        // Registration is not a mutation of observable decisions.
+        assert_eq!(v.epoch(), PolicyEpoch::ZERO);
+        let observed = v.epoch();
+        let stamp = v.decide_at(observed, &req(1, 1, 10));
+        assert!(stamp.decision.is_allow());
+        assert!(v.is_current(v.unit_class(UnitId(1)), stamp.epoch));
+        // Revoking unit 1 invalidates unit 1's class, not unit 2's.
+        v.register_unit(
+            UnitId(2),
+            &[Policy::open_ended(wk::billing(), EntityId(1), Ts::ZERO)],
+        );
+        let stamp2 = v.decide_at(v.epoch(), &req(2, 1, 10));
+        assert_eq!(v.revoke_all(UnitId(1), Ts::from_secs(20)), 1);
+        assert!(v.epoch() > PolicyEpoch::ZERO);
+        assert!(!v.is_current(v.unit_class(UnitId(1)), stamp.epoch));
+        assert!(v.is_current(v.unit_class(UnitId(2)), stamp2.epoch));
+    }
+
+    #[test]
+    fn grant_invalidates_cached_denials() {
+        let mut v = versioned_metatable();
+        v.register_unit(UnitId(1), &[]);
+        let deny = v.decide_at(v.epoch(), &req(1, 1, 10));
+        assert!(!deny.decision.is_allow());
+        v.grant(
+            UnitId(1),
+            Policy::open_ended(wk::billing(), EntityId(1), Ts::ZERO),
+        );
+        assert!(
+            !v.is_current(v.unit_class(UnitId(1)), deny.epoch),
+            "a cached deny must be re-evaluated after a grant"
+        );
+        assert!(v.decide_at(v.epoch(), &req(1, 1, 10)).decision.is_allow());
+    }
+
+    #[test]
+    fn window_end_bounds_the_stamp_horizon() {
+        let mut v = versioned_metatable();
+        v.register_unit(
+            UnitId(1),
+            &[Policy::new(
+                wk::billing(),
+                EntityId(1),
+                Ts::ZERO,
+                Ts::from_secs(100),
+            )],
+        );
+        let stamp = v.decide_at(v.epoch(), &req(1, 1, 10));
+        assert!(stamp.decision.is_allow());
+        assert_eq!(
+            stamp.valid_until,
+            Ts::from_secs(100),
+            "allow holds only through the policy window"
+        );
+    }
+
+    #[test]
+    fn coarse_mechanisms_share_one_unit_class() {
+        let clock = SimClock::commodity();
+        let mut rbac = RbacEnforcer::new(clock, Arc::new(Meter::new()));
+        let role = rbac.define_role(Role::new(
+            "reader",
+            vec![(wk::billing(), vec![ActionKind::Read])],
+        ));
+        rbac.add_member(EntityId(1), role);
+        let mut v = VersionedEnforcer::new(Box::new(rbac));
+        assert_eq!(v.unit_class(UnitId(1)), UnitClass::Global);
+        assert_eq!(v.unit_class(UnitId(2)), UnitClass::Global);
+        // RBAC ignores per-unit revocation: decisions are unchanged, so
+        // the epoch (and every cached decision) survives.
+        let stamp = v.decide_at(v.epoch(), &req(1, 1, 10));
+        assert!(stamp.decision.is_allow());
+        assert_eq!(v.revoke_all(UnitId(1), Ts::from_secs(20)), 0);
+        assert!(v.is_current(UnitClass::Global, stamp.epoch));
     }
 }

@@ -21,7 +21,10 @@ pub mod fgac;
 pub mod metatable;
 pub mod rbac;
 
-pub use enforcer::{AccessRequest, Decision, PolicyEnforcer};
+pub use enforcer::{
+    AccessRequest, Decision, DecisionScope, PolicyEnforcer, PolicyEpoch, StampedDecision,
+    UnitClass, VersionedEnforcer,
+};
 pub use fgac::{FgacConfig, FgacEnforcer};
 pub use metatable::MetaTableEnforcer;
 pub use rbac::{RbacEnforcer, Role};

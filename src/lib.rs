@@ -50,6 +50,8 @@ pub mod prelude {
     };
     pub use datacase_engine::profiles::{DeleteStrategy, EngineConfig, ProfileKind};
     pub use datacase_engine::Actor;
+    pub use datacase_engine::{driver::RunStats, RequestClass};
+    pub use datacase_policy::enforcer::PolicyEpoch;
     pub use datacase_sim::time::{Dur, Ts};
     pub use datacase_sim::{CostModel, Meter, MeterSnapshot, SimClock};
     pub use datacase_workloads::opstream::Op;

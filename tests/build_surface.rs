@@ -26,6 +26,7 @@ const EXAMPLES: &[&str] = &[
     "compliance_by_construction",
     "metaspace_case_study",
     "multinational",
+    "pipelined_batches",
     "policy_audit",
     "quickstart",
     "right_to_be_forgotten",
@@ -41,6 +42,7 @@ const BENCHES: &[&str] = &[
     "fig4b_profiles",
     "fig4c_scalability",
     "micro_substrates",
+    "pipeline_throughput",
     "table1_erasure_actions",
     "table2_space_factor",
 ];

@@ -1,9 +1,18 @@
-//! Property-based parity suite for the session frontend: submitting one
-//! batch of *n* requests must be indistinguishable from *n* single-request
-//! submissions — same reply stream, same work-meter counters, same
-//! forensic residuals — on **both** storage backends. This is the
-//! contract that makes the drivers' batch-first execution safe: batching
-//! amortizes boundary crossings, never semantics.
+//! Property-based parity suite for the session frontend.
+//!
+//! Two contracts are enforced, on **both** storage backends:
+//!
+//! * **Batch parity** — submitting one batch of *n* requests must be
+//!   indistinguishable from *n* single-request submissions: same reply
+//!   stream, same work-meter counters, same forensic residuals. This is
+//!   what makes the drivers' batch-first execution safe.
+//! * **Pipeline parity** — executing through the staged batch pipeline
+//!   (plan → decide → apply → account, with read waves fanned out across
+//!   worker threads) must be indistinguishable from plain serial
+//!   execution, down to the **bytes of the audit chain**: every record's
+//!   sequence number, timestamp, and payload must match, or the chain
+//!   heads diverge. Pipelining amortizes wall-clock time, never
+//!   semantics.
 
 use proptest::prelude::*;
 
@@ -12,9 +21,11 @@ use data_case::storage::backend::BackendKind;
 use data_case::workloads::gdprbench::{GdprBench, Mix};
 
 /// One full run: load `records`, then execute `txns` WCus requests in
-/// submissions of `batch_size`. Returns the outcome stream, the meter
-/// counters, and the count of forensic residuals for the workload's
-/// payload marker.
+/// submissions of `batch_size`, with the pipeline forced on or off and a
+/// decision cache of `cache` entries. Returns the outcome stream, the
+/// meter counters, the count of forensic residuals for the workload's
+/// payload marker, and the audit chain's head MAC.
+#[allow(clippy::too_many_arguments)]
 fn run(
     backend: BackendKind,
     profile: ProfileKind,
@@ -22,9 +33,22 @@ fn run(
     records: usize,
     txns: usize,
     batch_size: usize,
-) -> (Vec<Result<Reply, EngineError>>, MeterSnapshot, usize) {
-    let mut config = EngineConfig::for_profile(profile).with_backend(backend);
+    pipeline: bool,
+    cache: usize,
+) -> (
+    Vec<Result<Reply, EngineError>>,
+    MeterSnapshot,
+    usize,
+    [u8; 32],
+) {
+    let mut config = EngineConfig::for_profile(profile)
+        .with_backend(backend)
+        .with_pipeline(pipeline)
+        .with_decision_cache(cache);
     config.maintenance_every = 25;
+    // Force several apply-stage workers so the scoped-thread fan-out path
+    // is exercised (and proven identical) regardless of host core count.
+    config.pipeline_workers = 3;
     let mut fe = Frontend::new(config);
     let mut bench = GdprBench::new(seed, 60);
     let controller = Session::new(Actor::Controller);
@@ -41,10 +65,11 @@ fn run(
         }
     }
     let work = fe.meter().snapshot();
+    let chain = fe.forensic().chain_head();
     // GDPRBench payloads embed a "person=" marker; the residual count is
     // the physical-retention fingerprint of the whole run.
     let residuals = fe.forensic().scan(b"person=").total();
-    (outcomes, work, residuals)
+    (outcomes, work, residuals, chain)
 }
 
 proptest! {
@@ -62,8 +87,8 @@ proptest! {
     ) {
         for backend in BackendKind::ALL {
             for profile in [ProfileKind::PBase, ProfileKind::PSys] {
-                let sequential = run(backend, profile, seed, 60, txns, 1);
-                let batched = run(backend, profile, seed, 60, txns, batch_size);
+                let sequential = run(backend, profile, seed, 60, txns, 1, true, 0);
+                let batched = run(backend, profile, seed, 60, txns, batch_size, true, 0);
                 prop_assert_eq!(
                     &sequential.0,
                     &batched.0,
@@ -87,6 +112,55 @@ proptest! {
                     backend,
                     profile,
                     batch_size
+                );
+            }
+        }
+    }
+
+    /// Pipeline parity: with the pipeline forced on and off over the same
+    /// request stream (and with or without the decision cache), replies,
+    /// meter counters, forensic residuals, **and the audit chain's
+    /// bytes** all agree — every record's sequence number, timestamp, and
+    /// payload is identical, or the chain-head MACs would diverge.
+    #[test]
+    fn pipeline_on_and_off_produce_identical_runs_and_audit_chains(
+        seed in 0u64..10_000,
+        batch_size in 24usize..128,
+        txns in 60usize..160,
+        cached in proptest::bool::ANY,
+    ) {
+        let cache = if cached { 1024 } else { 0 };
+        for backend in BackendKind::ALL {
+            for profile in [ProfileKind::PBase, ProfileKind::PSys] {
+                let serial = run(backend, profile, seed, 60, txns, batch_size, false, cache);
+                let piped = run(backend, profile, seed, 60, txns, batch_size, true, cache);
+                prop_assert_eq!(
+                    &serial.0,
+                    &piped.0,
+                    "{:?}/{:?}: reply streams diverged between modes",
+                    backend,
+                    profile
+                );
+                prop_assert_eq!(
+                    serial.1,
+                    piped.1,
+                    "{:?}/{:?}: meter snapshots diverged between modes",
+                    backend,
+                    profile
+                );
+                prop_assert_eq!(
+                    serial.2,
+                    piped.2,
+                    "{:?}/{:?}: forensic residuals diverged between modes",
+                    backend,
+                    profile
+                );
+                prop_assert_eq!(
+                    serial.3,
+                    piped.3,
+                    "{:?}/{:?}: audit chains are not byte-identical between modes",
+                    backend,
+                    profile
                 );
             }
         }
@@ -131,6 +205,12 @@ proptest! {
                 .into_iter()
                 .map(|r| r.outcome)
                 .collect();
+            prop_assert_eq!(
+                fe_seq.forensic().chain_head(),
+                fe_batch.forensic().chain_head(),
+                "{:?}: erase audit chains diverged",
+                backend
+            );
             let batch_residuals = fe_batch.forensic().scan(b"person=").total();
 
             prop_assert_eq!(&seq, &batch, "{:?}: erase outcomes diverged", backend);
