@@ -40,6 +40,36 @@ pub trait AuditLogger: Send {
     /// tamper-evidence chain in call order.
     fn append_precharged(&mut self, rec: LogRecord);
 
+    /// The cipher this backend applies to payloads at rest, if any. A
+    /// pipelined engine uses it to run the payload transformation itself
+    /// — fanned out across apply-stage workers — and commits the result
+    /// through [`append_ciphered`](AuditLogger::append_ciphered). The
+    /// transformation is deterministic per record
+    /// (`iv_from_nonce(rec.seq)`), so offloading it never changes the
+    /// stored bytes or the chain.
+    fn payload_cipher(&self) -> Option<std::sync::Arc<AesCtr>> {
+        None
+    }
+
+    /// Commit a record whose payload is **already** in its at-rest form
+    /// (transformed with the cipher from
+    /// [`payload_cipher`](AuditLogger::payload_cipher) under
+    /// `iv_from_nonce(rec.seq)`), costs precharged. Plaintext backends
+    /// store payloads as-is, so their default is plain
+    /// [`append_precharged`](AuditLogger::append_precharged) — but a
+    /// backend that advertises a payload cipher **must** override this,
+    /// or the default would apply its cipher a second time on top of the
+    /// engine's; the assertion turns that silent double-encryption into
+    /// a loud failure.
+    fn append_ciphered(&mut self, rec: LogRecord) {
+        assert!(
+            self.payload_cipher().is_none(),
+            "{}: backend advertises a payload cipher but did not override append_ciphered",
+            self.name()
+        );
+        self.append_precharged(rec);
+    }
+
     /// The chain's current head MAC, resealing pending redactions first —
     /// a 32-byte digest two logs can be compared by.
     fn chain_head(&mut self) -> [u8; 32];
@@ -335,18 +365,44 @@ impl AuditLogger for FullQueryLogger {
 /// P_SYS: encrypted logging (AES-128) with per-unit deletion. Payloads are
 /// stored as ciphertext; scanning for plaintext finds nothing, and erasing
 /// a unit redacts its records.
+///
+/// The cipher schedule is expanded once at construction and shared via
+/// [`Arc`](std::sync::Arc), so a pipelined engine can encrypt record
+/// payloads on its apply-stage workers ([`AuditLogger::payload_cipher`] +
+/// [`AuditLogger::append_ciphered`]) instead of paying the AES serially
+/// at append time.
 pub struct EncryptedLogger {
     core: LogCore,
-    cipher: AesCtr,
+    cipher: std::sync::Arc<AesCtr>,
 }
 
 impl EncryptedLogger {
-    /// A fresh encrypted logger (AES-128, as P_SYS specifies).
+    /// A fresh encrypted logger (AES-128, as P_SYS specifies), deriving
+    /// its payload key by hashing `key`. Construction-heavy call sites
+    /// (tests, benches constructing many loggers) can pre-expand once and
+    /// use [`with_cipher`](EncryptedLogger::with_cipher) instead.
     pub fn new(key: &[u8], clock: SimClock, meter: std::sync::Arc<Meter>) -> EncryptedLogger {
         let digest = datacase_crypto::sha256::Sha256::digest(key);
+        Self::with_cipher(
+            AesCtr::from_key(KeySize::Aes128, &digest[..16]),
+            key,
+            clock,
+            meter,
+        )
+    }
+
+    /// A logger reusing an already-expanded payload cipher — no hashing,
+    /// no key expansion. `chain_key` seals the tamper-evidence chain
+    /// exactly as in [`new`](EncryptedLogger::new).
+    pub fn with_cipher(
+        cipher: AesCtr,
+        chain_key: &[u8],
+        clock: SimClock,
+        meter: std::sync::Arc<Meter>,
+    ) -> EncryptedLogger {
         EncryptedLogger {
-            cipher: AesCtr::from_key(KeySize::Aes128, &digest[..16]),
-            core: LogCore::new(key, clock, meter),
+            cipher: std::sync::Arc::new(cipher),
+            core: LogCore::new(chain_key, clock, meter),
         }
     }
 }
@@ -368,6 +424,17 @@ impl AuditLogger for EncryptedLogger {
     fn append_precharged(&mut self, mut rec: LogRecord) {
         self.cipher
             .apply(AesCtr::iv_from_nonce(rec.seq), &mut rec.payload);
+        self.core.store(rec);
+    }
+
+    fn payload_cipher(&self) -> Option<std::sync::Arc<AesCtr>> {
+        Some(std::sync::Arc::clone(&self.cipher))
+    }
+
+    fn append_ciphered(&mut self, rec: LogRecord) {
+        // The payload already carries this logger's cipher (applied on
+        // the pipeline's workers under iv_from_nonce(seq)); storing it
+        // as-is yields byte-identical records to the serial path.
         self.core.store(rec);
     }
 
@@ -514,6 +581,54 @@ mod tests {
             assert_eq!(split.bytes(), whole.bytes(), "{}", split.name());
             assert_eq!(split.chain_head(), whole.chain_head(), "{}", split.name());
         }
+    }
+
+    #[test]
+    fn with_cipher_matches_new() {
+        // The cheap constructor must be observationally identical to the
+        // hashing one: same ciphertext at rest, same chain.
+        let clock = SimClock::commodity();
+        let meter = Arc::new(Meter::new());
+        let digest = datacase_crypto::sha256::Sha256::digest(b"k");
+        let cipher = AesCtr::from_key(KeySize::Aes128, &digest[..16]);
+        let mut cheap = EncryptedLogger::with_cipher(cipher, b"k", clock.clone(), meter.clone());
+        let mut hashed = EncryptedLogger::new(b"k", clock, meter);
+        cheap.log(rec(1, 1, b"payload"));
+        hashed.log(rec(1, 1, b"payload"));
+        assert_eq!(cheap.chain_head(), hashed.chain_head());
+        assert_eq!(cheap.bytes(), hashed.bytes());
+    }
+
+    #[test]
+    fn offloaded_encryption_is_byte_identical_to_append_precharged() {
+        // What the pipelined engine does: charge, encrypt the payload
+        // itself with payload_cipher() under iv_from_nonce(seq), then
+        // append_ciphered. The stored records and chain must match the
+        // serial append_precharged path exactly.
+        let clock = SimClock::commodity();
+        let meter = Arc::new(Meter::new());
+        let mut serial = EncryptedLogger::new(b"k", clock.clone(), meter.clone());
+        let mut offload = EncryptedLogger::new(b"k", clock, meter);
+        assert!(
+            CsvRowLogger::new(b"k", SimClock::commodity(), Arc::new(Meter::new()))
+                .payload_cipher()
+                .is_none(),
+            "plaintext backends advertise no payload cipher"
+        );
+        for seq in 1..=3u64 {
+            let r = rec(seq, seq, format!("payload-{seq}").as_bytes());
+            serial.charge(&r, r.payload.len());
+            serial.append_precharged(r.clone());
+
+            offload.charge(&r, r.payload.len());
+            let cipher = offload.payload_cipher().expect("encrypted backend");
+            let mut r2 = r.clone();
+            cipher.apply(AesCtr::iv_from_nonce(r2.seq), &mut r2.payload);
+            offload.append_ciphered(r2);
+        }
+        assert_eq!(serial.chain_head(), offload.chain_head());
+        assert_eq!(serial.bytes(), offload.bytes());
+        assert_eq!(offload.scan(b"payload"), 0, "still ciphertext at rest");
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! Crypto hot-path microbenchmarks: fused T-table AES vs the retained
+//! byte-oriented reference rounds, on every shape the paper profiles pay
+//! for — block encryption, CTR streams (record- and page-sized), the
+//! LUKS-style sector cipher, the P_SYS encrypted audit log, and the key
+//! vault's cached schedules. `repro crypto` renders the same comparison
+//! into `BENCH_crypto.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use datacase_audit::loggers::{AuditLogger, EncryptedLogger};
+use datacase_audit::record::LogRecord;
+use datacase_core::ids::{EntityId, UnitId};
+use datacase_core::purpose::well_known as wk;
+use datacase_crypto::aes::{Aes, KeySize};
+use datacase_crypto::ctr::AesCtr;
+use datacase_crypto::sector::SectorCipher;
+use datacase_crypto::sha256::Sha256;
+use datacase_crypto::vault::KeyVault;
+use datacase_sim::time::Ts;
+use datacase_sim::{Meter, SimClock};
+use std::sync::Arc;
+
+fn bench_block(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto_block");
+    group.throughput(Throughput::Bytes(16));
+    for (name, size) in [("aes128", KeySize::Aes128), ("aes256", KeySize::Aes256)] {
+        let aes = Aes::new(size, &[0x42u8; 32][..size.key_len()]);
+        group.bench_function(format!("{name}_ttable"), |b| {
+            let mut block = [0xABu8; 16];
+            b.iter(|| {
+                aes.encrypt_block(&mut block);
+                block
+            });
+        });
+        group.bench_function(format!("{name}_reference"), |b| {
+            let mut block = [0xABu8; 16];
+            b.iter(|| {
+                aes.encrypt_block_ref(&mut block);
+                block
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_ctr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto_ctr");
+    for (label, len) in [("256b", 256usize), ("4k", 4096)] {
+        group.throughput(Throughput::Bytes(len as u64));
+        let ctr = AesCtr::from_key(KeySize::Aes128, &[0u8; 16]);
+        let iv = AesCtr::iv_from_nonce(1);
+        group.bench_function(format!("aes128_lane_{label}"), |b| {
+            let mut buf = vec![0xABu8; len];
+            b.iter(|| ctr.apply(iv, &mut buf));
+        });
+        group.bench_function(format!("aes128_reference_{label}"), |b| {
+            let mut buf = vec![0xABu8; len];
+            b.iter(|| ctr.apply_ref(iv, &mut buf));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto_sector");
+    group.throughput(Throughput::Bytes(4096));
+    let sc = SectorCipher::from_passphrase(b"luks-gbench-passphrase", KeySize::Aes256);
+    group.bench_function("aes256_page_blocks", |b| {
+        let mut page = vec![0x5Au8; 4096];
+        b.iter(|| sc.apply(42, &mut page));
+    });
+    group.bench_function("aes256_page_reference", |b| {
+        let mut page = vec![0x5Au8; 4096];
+        b.iter(|| sc.apply_ref(42, &mut page));
+    });
+    group.finish();
+}
+
+fn bench_vault(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto_vault");
+    let mut vault = KeyVault::new(b"engine-master-secret", KeySize::Aes128);
+    vault.ensure_key(7);
+    let key = vault.ensure_key(7).to_vec();
+    group.bench_function("cached_schedule_64b", |b| {
+        let cipher = vault.cipher(7).unwrap();
+        let mut buf = [0xABu8; 64];
+        b.iter(|| cipher.apply(AesCtr::iv_from_nonce(7), &mut buf));
+    });
+    group.bench_function("reexpand_schedule_64b", |b| {
+        // What every operation paid before schedule caching: a fresh key
+        // expansion per cipher use.
+        let mut buf = [0xABu8; 64];
+        b.iter(|| {
+            let cipher = AesCtr::from_key(KeySize::Aes128, &key);
+            cipher.apply(AesCtr::iv_from_nonce(7), &mut buf);
+        });
+    });
+    group.finish();
+}
+
+fn bench_logger(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto_logger");
+    let payload = vec![0x33u8; 256];
+    group.throughput(Throughput::Bytes(256));
+    group.bench_function("encrypted_log_append_256b", |b| {
+        // The cheap constructor: the cipher is expanded once out here,
+        // not re-derived from the key inside every logger construction.
+        let digest = Sha256::digest(b"audit-key");
+        let cipher = AesCtr::from_key(KeySize::Aes128, &digest[..16]);
+        let clock = SimClock::commodity();
+        let meter = Arc::new(Meter::new());
+        let mut logger = EncryptedLogger::with_cipher(cipher, b"audit-key", clock, meter);
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            logger.log(LogRecord {
+                seq,
+                at: Ts::from_secs(seq),
+                unit: Some(UnitId(seq)),
+                entity: EntityId(1),
+                purpose: wk::billing(),
+                op: "read".into(),
+                payload: payload.clone(),
+                redacted: false,
+            });
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_block,
+    bench_ctr,
+    bench_sector,
+    bench_vault,
+    bench_logger
+);
+criterion_main!(benches);

@@ -2,11 +2,13 @@
 //!
 //! Usage:
 //! ```text
-//! repro [--quick] [fig1|fig3|fig4a|fig4b|fig4c|table1|table2|backends|pipeline|invariants|ablations|checks|all]
+//! repro [--quick] [fig1|fig3|fig4a|fig4b|fig4c|table1|table2|backends|pipeline|crypto|invariants|ablations|checks|all]
 //! ```
 //!
 //! `pipeline` additionally writes the measured cells to
-//! `BENCH_pipeline.json` (the repo's wall-clock perf trajectory).
+//! `BENCH_pipeline.json`, and `crypto` writes the crypto-substrate
+//! before/after throughput plus encrypted-profile wall times to
+//! `BENCH_crypto.json` (the repo's wall-clock perf trajectory).
 //!
 //! `--quick` divides record/transaction counts by 10 (useful for smoke
 //! runs); the default is paper-faithful sizes (100k records, 10k txns,
@@ -65,6 +67,20 @@ fn main() {
         match std::fs::write("BENCH_pipeline.json", &json) {
             Ok(()) => println!("wrote BENCH_pipeline.json ({} cells)\n", points.len()),
             Err(e) => println!("could not write BENCH_pipeline.json: {e}\n"),
+        }
+    }
+    if want("crypto") {
+        let (micro, e2e_table, points, e2e) = figures::crypto_matrix(scale);
+        println!("{}", micro.render_text());
+        println!("{}", e2e_table.render_text());
+        let json = figures::crypto_json(&points, &e2e, scale);
+        match std::fs::write("BENCH_crypto.json", &json) {
+            Ok(()) => println!(
+                "wrote BENCH_crypto.json ({} substrates, {} end-to-end cells)\n",
+                points.len(),
+                e2e.len()
+            ),
+            Err(e) => println!("could not write BENCH_crypto.json: {e}\n"),
         }
     }
     if want("invariants") {

@@ -925,6 +925,290 @@ pub fn pipeline_json(points: &[PipelinePoint], scale: Scale) -> String {
     out
 }
 
+// ---------------------------------------------------------------------
+// Crypto-substrate throughput (BENCH_crypto.json)
+// ---------------------------------------------------------------------
+
+/// One measured crypto-substrate cell: host throughput through the
+/// retained byte-oriented reference path and the T-table / lane-XOR fast
+/// path over the same buffers.
+#[derive(Clone, Debug)]
+pub struct CryptoPoint {
+    /// Substrate label (cipher × buffer shape).
+    pub substrate: &'static str,
+    /// Bytes per measured pass.
+    pub buf_bytes: usize,
+    /// Reference-path throughput in MB/s.
+    pub ref_mb_s: f64,
+    /// Fast-path throughput in MB/s.
+    pub fast_mb_s: f64,
+}
+
+impl CryptoPoint {
+    /// fast ÷ reference.
+    pub fn speedup(&self) -> f64 {
+        self.fast_mb_s / self.ref_mb_s
+    }
+}
+
+/// One end-to-end encrypted-profile cell: transaction-phase wall times
+/// through three crypto configurations of the *same* engine build —
+/// the retained byte-oriented reference rounds (toggled via
+/// [`set_reference_mode`](datacase_crypto::ctr::set_reference_mode), so
+/// results are bit-identical and only wall time moves), the T-table path
+/// with the pipeline off, and the T-table path with the pipeline on
+/// (apply-stage fan-out of tuple **and** P_SYS audit-log AES, which pays
+/// off on multi-core hosts).
+///
+/// The reference cells isolate the *round/XOR implementation*: this PR's
+/// other wins — cached key schedules, the `Arc`'d log cipher, the
+/// worker-pool offload — stay active in them, and each made the pre-PR
+/// engine strictly slower than what the toggle reproduces. The reported
+/// reference-vs-pipelined speedup is therefore a **lower bound** on the
+/// true pre-overhaul gap.
+#[derive(Clone, Debug)]
+pub struct CryptoEndToEnd {
+    /// The encrypted profile under test.
+    pub profile: ProfileKind,
+    /// The YCSB mix driving it.
+    pub workload: YcsbWorkload,
+    /// Transactions executed.
+    pub ops: usize,
+    /// Best-of-reps wall ms on the pre-overhaul reference crypto path.
+    pub reference_wall_ms: f64,
+    /// Best-of-reps wall ms, T-table crypto, pipeline off.
+    pub serial_wall_ms: f64,
+    /// Best-of-reps wall ms, T-table crypto, pipeline on.
+    pub pipelined_wall_ms: f64,
+    /// Simulated throughput (identical across all three configurations
+    /// by the parity + equivalence contracts; reported as evidence).
+    pub sim_ops_per_sec: f64,
+}
+
+/// Measure `f` (one pass over `buf_bytes`) and return MB/s, after one
+/// untimed warm-up pass.
+fn throughput_mb_s(buf_bytes: usize, passes: u64, mut f: impl FnMut()) -> f64 {
+    f();
+    let t = std::time::Instant::now();
+    for _ in 0..passes {
+        f();
+    }
+    (buf_bytes as u64 * passes) as f64 / t.elapsed().as_secs_f64() / 1e6
+}
+
+/// The crypto-substrate micro matrix: every AES shape the profiles pay on
+/// their hot paths — P_SYS log records (AES-128, record-sized), tuple
+/// payloads (AES-128/AES-256, row-sized), and P_GBench/LUKS whole pages
+/// (AES-256 under the sector-IV binding) — measured through both paths.
+pub fn crypto_micro(scale: Scale) -> Vec<CryptoPoint> {
+    use datacase_crypto::aes::KeySize;
+    use datacase_crypto::ctr::AesCtr;
+    use datacase_crypto::sector::SectorCipher;
+    // ~32 MB through each series at full scale, ~3 MB on --quick.
+    let budget = scale.div(32 * 1024 * 1024);
+    let mut points = Vec::new();
+    let mut ctr_cell = |substrate: &'static str, size: KeySize, buf_bytes: usize| {
+        let ctr = AesCtr::from_key(size, &[0x42u8; 32][..size.key_len()]);
+        let iv = AesCtr::iv_from_nonce(7);
+        let mut buf = vec![0xABu8; buf_bytes];
+        let passes = (budget / buf_bytes as u64).max(8);
+        let fast = throughput_mb_s(buf_bytes, passes, || ctr.apply(iv, &mut buf));
+        // The reference path is ~4–5× slower; a quarter of the passes
+        // keeps runtimes balanced without starving the measurement.
+        let r = throughput_mb_s(buf_bytes, (passes / 4).max(8), || {
+            ctr.apply_ref(iv, &mut buf)
+        });
+        points.push(CryptoPoint {
+            substrate,
+            buf_bytes,
+            ref_mb_s: r,
+            fast_mb_s: fast,
+        });
+    };
+    ctr_cell("aes128-ctr 256 B (P_SYS log record)", KeySize::Aes128, 256);
+    ctr_cell("aes128-ctr 4 KiB (P_SYS tuples)", KeySize::Aes128, 4096);
+    ctr_cell("aes256-ctr 4 KiB (P_Base tuples)", KeySize::Aes256, 4096);
+    {
+        let sc = SectorCipher::from_passphrase(b"luks-gbench-passphrase", KeySize::Aes256);
+        let buf_bytes = 4096;
+        let mut buf = vec![0xCDu8; buf_bytes];
+        let passes = (budget / buf_bytes as u64).max(8);
+        let fast = throughput_mb_s(buf_bytes, passes, || sc.apply(11, &mut buf));
+        let r = throughput_mb_s(buf_bytes, (passes / 4).max(8), || {
+            sc.apply_ref(11, &mut buf)
+        });
+        points.push(CryptoPoint {
+            substrate: "sector-aes256 4 KiB page (P_GBench/LUKS)",
+            buf_bytes,
+            ref_mb_s: r,
+            fast_mb_s: fast,
+        });
+    }
+    points
+}
+
+/// Record size for the end-to-end crypto cells: classic YCSB 1 KiB
+/// records, so the profiles' AES work (tuple payloads, log payloads,
+/// whole pages) dominates the way it does on payload-carrying
+/// production workloads.
+pub const CRYPTO_E2E_PAYLOAD: usize = 1024;
+
+/// Run one end-to-end encrypted-profile cell (mirrors
+/// [`pipeline_cell`], but over the profiles whose hot path is crypto):
+/// load, then a YCSB transaction phase at [`CRYPTO_E2E_PAYLOAD`]-byte
+/// records, returning its stats.
+pub fn crypto_cell(
+    profile: ProfileKind,
+    workload: YcsbWorkload,
+    pipeline: bool,
+    records: u64,
+    txns: u64,
+    seed: u64,
+) -> RunStats {
+    let mut config = EngineConfig::for_profile(profile)
+        .with_pipeline(pipeline)
+        .with_decision_cache(4096);
+    config.heap.buffer_pages = buffer_pages_for(records);
+    let mut fe = Frontend::new(config);
+    let mut y = Ycsb::new(seed, records).with_payload_size(CRYPTO_E2E_PAYLOAD);
+    let load = y.load_phase();
+    run_ops_batched(&mut fe, &load, Actor::Controller, PIPELINE_BATCH);
+    let ops = y.ops(txns as usize, workload);
+    run_ops_batched(&mut fe, &ops, Actor::Processor, PIPELINE_BATCH)
+}
+
+/// The crypto throughput report: the micro substrate matrix plus
+/// end-to-end wall times of the two encrypted paper profiles (P_SYS:
+/// encrypted audit log + AES-128 tuples; P_GBench: LUKS sector
+/// encryption), serial vs pipelined, with the sim-parity contract
+/// asserted on every cell.
+pub fn crypto_matrix(scale: Scale) -> (Table, Table, Vec<CryptoPoint>, Vec<CryptoEndToEnd>) {
+    let points = crypto_micro(scale);
+    let mut table = Table::new(
+        "Crypto substrate throughput — byte-oriented reference vs fused T-table path",
+        &["substrate", "reference (MB/s)", "T-table (MB/s)", "speedup"],
+    );
+    for p in &points {
+        table.row(vec![
+            p.substrate.into(),
+            f3(p.ref_mb_s),
+            f3(p.fast_mb_s),
+            format!("{:.2}x", p.speedup()),
+        ]);
+    }
+
+    let records = scale.div(20_000);
+    let txns = scale.div(20_000);
+    let mut e2e_table = Table::new(
+        format!(
+            "Encrypted-profile wall times — pre-overhaul reference crypto vs T-table (records={records}, txns={txns}, batch={PIPELINE_BATCH}, {CRYPTO_E2E_PAYLOAD} B records)"
+        ),
+        &[
+            "profile",
+            "workload",
+            "reference (wall ms)",
+            "T-table serial (wall ms)",
+            "T-table pipelined (wall ms)",
+            "overall speedup",
+            "sim identical",
+        ],
+    );
+    let mut e2e = Vec::new();
+    for profile in [ProfileKind::PSys, ProfileKind::PGBench] {
+        let workload = YcsbWorkload::B;
+        let seed = 7;
+        let run = |pipeline: bool, reference: bool| -> (f64, f64, usize) {
+            let mut best_wall = f64::INFINITY;
+            let mut sim = 0.0;
+            let mut ops = 0;
+            for rep in 0..PIPELINE_REPS {
+                let was = datacase_crypto::ctr::set_reference_mode(reference);
+                let stats = crypto_cell(profile, workload, pipeline, records, txns, seed);
+                datacase_crypto::ctr::set_reference_mode(was);
+                best_wall = best_wall.min(stats.wall.as_secs_f64() * 1e3);
+                let rep_sim = stats.sim_ops_per_sec();
+                assert!(
+                    rep == 0 || rep_sim == sim,
+                    "simulated throughput must be deterministic across reps"
+                );
+                sim = rep_sim;
+                ops = stats.ops;
+            }
+            (best_wall, sim, ops)
+        };
+        // Reference cell: byte-oriented rounds, pipeline on (the PR-4
+        // default) — bit-identical results, only wall time moves. A
+        // lower bound on the pre-overhaul engine (see CryptoEndToEnd).
+        let (reference_wall_ms, ref_sim, ops) = run(true, true);
+        let (serial_wall_ms, serial_sim, _) = run(false, false);
+        let (pipelined_wall_ms, piped_sim, _) = run(true, false);
+        assert!(
+            ref_sim == serial_sim && serial_sim == piped_sim,
+            "{}: simulated throughput diverged across crypto configurations ({ref_sim} / {serial_sim} / {piped_sim})",
+            profile.label(),
+        );
+        e2e_table.row(vec![
+            profile.label().into(),
+            workload.label().into(),
+            f3(reference_wall_ms),
+            f3(serial_wall_ms),
+            f3(pipelined_wall_ms),
+            format!("{:.2}x", reference_wall_ms / pipelined_wall_ms),
+            "yes".into(),
+        ]);
+        e2e.push(CryptoEndToEnd {
+            profile,
+            workload,
+            ops,
+            reference_wall_ms,
+            serial_wall_ms,
+            pipelined_wall_ms,
+            sim_ops_per_sec: serial_sim,
+        });
+    }
+    (table, e2e_table, points, e2e)
+}
+
+/// Render the crypto report as the `BENCH_crypto.json` document
+/// (`BENCH_pipeline.json`-style): one object per micro substrate with
+/// before/after MB/s, one per end-to-end encrypted-profile cell with
+/// serial/pipelined wall times.
+pub fn crypto_json(points: &[CryptoPoint], e2e: &[CryptoEndToEnd], scale: Scale) -> String {
+    let mut out = String::from("{\n  \"bench\": \"crypto_throughput\",\n");
+    out.push_str(&format!(
+        "  \"scale_divisor\": {},\n  \"substrates\": [\n",
+        scale.0
+    ));
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"substrate\": \"{}\", \"buf_bytes\": {}, \"reference_mb_s\": {:.3}, \"fast_mb_s\": {:.3}, \"speedup\": {:.3}}}{}\n",
+            p.substrate,
+            p.buf_bytes,
+            p.ref_mb_s,
+            p.fast_mb_s,
+            p.speedup(),
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"end_to_end\": [\n");
+    for (i, c) in e2e.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"profile\": \"{}\", \"workload\": \"{}\", \"ops\": {}, \"reference_wall_ms\": {:.3}, \"ttable_serial_wall_ms\": {:.3}, \"ttable_pipelined_wall_ms\": {:.3}, \"speedup\": {:.3}, \"sim_ops_per_sec\": {:.3}}}{}\n",
+            c.profile.label(),
+            c.workload.label(),
+            c.ops,
+            c.reference_wall_ms,
+            c.serial_wall_ms,
+            c.pipelined_wall_ms,
+            c.reference_wall_ms / c.pipelined_wall_ms,
+            c.sim_ops_per_sec,
+            if i + 1 < e2e.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Shape assertions shared by tests and the repro binary: returns a list
 /// of (check, passed) pairs so violations are visible in reports.
 pub fn shape_checks(scale: Scale) -> Vec<(String, bool)> {

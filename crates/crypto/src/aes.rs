@@ -1,9 +1,23 @@
-//! AES-128/192/256 block cipher (FIPS-197), byte-oriented implementation with precomputed multiplication tables.
+//! AES-128/192/256 block cipher (FIPS-197), with a fused-T-table hot path.
 //!
 //! The S-box is generated at construction from the GF(2⁸) inverse + affine
 //! transform rather than pasted as a 256-entry literal, which keeps the code
 //! auditable; correctness is pinned by the FIPS-197 appendix vectors in the
 //! tests below.
+//!
+//! Two round implementations coexist:
+//!
+//! * [`Aes::encrypt_block`] / [`Aes::decrypt_block`] — the hot path. Each
+//!   round fuses SubBytes + ShiftRows + MixColumns + AddRoundKey into four
+//!   u32 table lookups and four XORs per column (the classic T-table
+//!   construction; decryption uses the FIPS-197 §5.3.5 *equivalent inverse
+//!   cipher* with InvMixColumns-transformed round keys).
+//! * [`Aes::encrypt_block_ref`] / [`Aes::decrypt_block_ref`] — the original
+//!   byte-oriented FIPS-197 rounds, retained verbatim as the reference
+//!   implementation. The crypto-equivalence gate (`tests/prop_crypto.rs`)
+//!   pins the T-table path byte-identical to this one on random keys and
+//!   blocks for all three key sizes, and the `crypto_throughput` bench
+//!   reports both so the speedup stays measurable.
 
 /// AES key sizes supported by the cipher.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -142,14 +156,70 @@ fn mul_tables() -> &'static MulTables {
     TABLES.get_or_init(build_mul_tables)
 }
 
+/// Fused round tables: `te[r][x]` is MixColumns' column `r` scaled by
+/// `S(x)`, packed big-endian, so one encryption round per column is
+/// `te[0][b0] ^ te[1][b1] ^ te[2][b2] ^ te[3][b3] ^ rk` (SubBytes,
+/// ShiftRows and MixColumns fused into the lookups, AddRoundKey the final
+/// XOR). `td` is the mirror image over `InvS` with the InvMixColumns
+/// constants, used by the equivalent inverse cipher. 8 KiB total,
+/// derived — like the S-box — from `gmul` at first use.
+struct TTables {
+    te: [[u32; 256]; 4],
+    td: [[u32; 256]; 4],
+}
+
+#[allow(clippy::needless_range_loop)] // x is the GF(2^8) element, not just an index
+fn build_ttables() -> TTables {
+    let (sbox, inv_sbox) = sboxes();
+    let m = mul_tables();
+    let mut t = TTables {
+        te: [[0u32; 256]; 4],
+        td: [[0u32; 256]; 4],
+    };
+    for x in 0..256usize {
+        let s = sbox[x] as usize;
+        let te0 = u32::from_be_bytes([m.x2[s], s as u8, s as u8, m.x3[s]]);
+        let is = inv_sbox[x] as usize;
+        let td0 = u32::from_be_bytes([m.x14[is], m.x9[is], m.x13[is], m.x11[is]]);
+        for r in 0..4 {
+            t.te[r][x] = te0.rotate_right(8 * r as u32);
+            t.td[r][x] = td0.rotate_right(8 * r as u32);
+        }
+    }
+    t
+}
+
+fn ttables() -> &'static TTables {
+    static TABLES: std::sync::OnceLock<TTables> = std::sync::OnceLock::new();
+    TABLES.get_or_init(build_ttables)
+}
+
+/// InvMixColumns of one big-endian column word (key-schedule transform
+/// for the equivalent inverse cipher — cold path, so plain `MulTables`).
+fn inv_mix_word(m: &MulTables, w: u32) -> u32 {
+    let [a0, a1, a2, a3] = w.to_be_bytes().map(|b| b as usize);
+    u32::from_be_bytes([
+        m.x14[a0] ^ m.x11[a1] ^ m.x13[a2] ^ m.x9[a3],
+        m.x9[a0] ^ m.x14[a1] ^ m.x11[a2] ^ m.x13[a3],
+        m.x13[a0] ^ m.x9[a1] ^ m.x14[a2] ^ m.x11[a3],
+        m.x11[a0] ^ m.x13[a1] ^ m.x9[a2] ^ m.x14[a3],
+    ])
+}
+
 /// An expanded AES key ready to encrypt/decrypt 16-byte blocks.
 #[derive(Clone)]
 pub struct Aes {
     size: KeySize,
     round_keys: Vec<[u8; 16]>,
+    /// Encryption round keys as big-endian column words (T-table path).
+    ek: Vec<[u32; 4]>,
+    /// Equivalent-inverse-cipher round keys: `ek` reversed, middle rounds
+    /// passed through InvMixColumns (FIPS-197 §5.3.5).
+    dk: Vec<[u32; 4]>,
     sbox: &'static [u8; 256],
     inv_sbox: &'static [u8; 256],
     mul: &'static MulTables,
+    tt: &'static TTables,
 }
 
 impl std::fmt::Debug for Aes {
@@ -206,12 +276,33 @@ impl Aes {
                 rk
             })
             .collect();
+        let mul = mul_tables();
+        let ek: Vec<[u32; 4]> = round_keys
+            .iter()
+            .map(|rk| {
+                [0, 1, 2, 3]
+                    .map(|c| u32::from_be_bytes(rk[4 * c..4 * c + 4].try_into().expect("4 bytes")))
+            })
+            .collect();
+        let dk: Vec<[u32; 4]> = (0..=nr)
+            .map(|r| {
+                let src = ek[nr - r];
+                if r == 0 || r == nr {
+                    src
+                } else {
+                    src.map(|w| inv_mix_word(mul, w))
+                }
+            })
+            .collect();
         Aes {
             size,
             round_keys,
+            ek,
+            dk,
             sbox,
             inv_sbox,
-            mul: mul_tables(),
+            mul,
+            tt: ttables(),
         }
     }
 
@@ -307,8 +398,140 @@ impl Aes {
         }
     }
 
-    /// Encrypt one 16-byte block in place.
+    /// Encrypt one 16-byte block in place (T-table hot path).
     pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        let out = self.encrypt_words(Self::load_words(block));
+        Self::store_words(out, block);
+    }
+
+    /// Decrypt one 16-byte block in place (equivalent inverse cipher).
+    pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+        let td = &self.tt.td;
+        let is = self.inv_sbox;
+        let nr = self.size.rounds();
+        let mut s = Self::load_words(block);
+        for (w, rk) in s.iter_mut().zip(self.dk[0]) {
+            *w ^= rk;
+        }
+        for r in 1..nr {
+            let rk = self.dk[r];
+            // InvShiftRows moves row r right by r: output column i, row r
+            // comes from input column (i + 4 - r) % 4.
+            s = [
+                td[0][(s[0] >> 24) as usize]
+                    ^ td[1][((s[3] >> 16) & 0xff) as usize]
+                    ^ td[2][((s[2] >> 8) & 0xff) as usize]
+                    ^ td[3][(s[1] & 0xff) as usize]
+                    ^ rk[0],
+                td[0][(s[1] >> 24) as usize]
+                    ^ td[1][((s[0] >> 16) & 0xff) as usize]
+                    ^ td[2][((s[3] >> 8) & 0xff) as usize]
+                    ^ td[3][(s[2] & 0xff) as usize]
+                    ^ rk[1],
+                td[0][(s[2] >> 24) as usize]
+                    ^ td[1][((s[1] >> 16) & 0xff) as usize]
+                    ^ td[2][((s[0] >> 8) & 0xff) as usize]
+                    ^ td[3][(s[3] & 0xff) as usize]
+                    ^ rk[2],
+                td[0][(s[3] >> 24) as usize]
+                    ^ td[1][((s[2] >> 16) & 0xff) as usize]
+                    ^ td[2][((s[1] >> 8) & 0xff) as usize]
+                    ^ td[3][(s[0] & 0xff) as usize]
+                    ^ rk[3],
+            ];
+        }
+        let rk = self.dk[nr];
+        let sub = |i: usize, j3: usize, j2: usize, j1: usize| -> u32 {
+            u32::from_be_bytes([
+                is[(s[i] >> 24) as usize],
+                is[((s[j3] >> 16) & 0xff) as usize],
+                is[((s[j2] >> 8) & 0xff) as usize],
+                is[(s[j1] & 0xff) as usize],
+            ])
+        };
+        let out = [
+            sub(0, 3, 2, 1) ^ rk[0],
+            sub(1, 0, 3, 2) ^ rk[1],
+            sub(2, 1, 0, 3) ^ rk[2],
+            sub(3, 2, 1, 0) ^ rk[3],
+        ];
+        Self::store_words(out, block);
+    }
+
+    /// The FIPS column-major state as four big-endian column words.
+    #[inline]
+    fn load_words(block: &[u8; 16]) -> [u32; 4] {
+        [0, 1, 2, 3].map(|c| u32::from_be_bytes(block[4 * c..4 * c + 4].try_into().expect("4")))
+    }
+
+    #[inline]
+    fn store_words(words: [u32; 4], block: &mut [u8; 16]) {
+        for (c, w) in words.into_iter().enumerate() {
+            block[4 * c..4 * c + 4].copy_from_slice(&w.to_be_bytes());
+        }
+    }
+
+    /// One full encryption over column words — the shared core of
+    /// [`encrypt_block`](Aes::encrypt_block) and the CTR keystream
+    /// generator, which keeps its counter in words and skips the byte
+    /// round-trip entirely.
+    #[inline]
+    pub(crate) fn encrypt_words(&self, mut s: [u32; 4]) -> [u32; 4] {
+        let te = &self.tt.te;
+        let sbox = self.sbox;
+        let nr = self.size.rounds();
+        for (w, rk) in s.iter_mut().zip(self.ek[0]) {
+            *w ^= rk;
+        }
+        for r in 1..nr {
+            let rk = self.ek[r];
+            // ShiftRows moves row r left by r: output column i, row r
+            // comes from input column (i + r) % 4.
+            s = [
+                te[0][(s[0] >> 24) as usize]
+                    ^ te[1][((s[1] >> 16) & 0xff) as usize]
+                    ^ te[2][((s[2] >> 8) & 0xff) as usize]
+                    ^ te[3][(s[3] & 0xff) as usize]
+                    ^ rk[0],
+                te[0][(s[1] >> 24) as usize]
+                    ^ te[1][((s[2] >> 16) & 0xff) as usize]
+                    ^ te[2][((s[3] >> 8) & 0xff) as usize]
+                    ^ te[3][(s[0] & 0xff) as usize]
+                    ^ rk[1],
+                te[0][(s[2] >> 24) as usize]
+                    ^ te[1][((s[3] >> 16) & 0xff) as usize]
+                    ^ te[2][((s[0] >> 8) & 0xff) as usize]
+                    ^ te[3][(s[1] & 0xff) as usize]
+                    ^ rk[2],
+                te[0][(s[3] >> 24) as usize]
+                    ^ te[1][((s[0] >> 16) & 0xff) as usize]
+                    ^ te[2][((s[1] >> 8) & 0xff) as usize]
+                    ^ te[3][(s[2] & 0xff) as usize]
+                    ^ rk[3],
+            ];
+        }
+        let rk = self.ek[nr];
+        let sub = |i: usize, j1: usize, j2: usize, j3: usize| -> u32 {
+            u32::from_be_bytes([
+                sbox[(s[i] >> 24) as usize],
+                sbox[((s[j1] >> 16) & 0xff) as usize],
+                sbox[((s[j2] >> 8) & 0xff) as usize],
+                sbox[(s[j3] & 0xff) as usize],
+            ])
+        };
+        [
+            sub(0, 1, 2, 3) ^ rk[0],
+            sub(1, 2, 3, 0) ^ rk[1],
+            sub(2, 3, 0, 1) ^ rk[2],
+            sub(3, 0, 1, 2) ^ rk[3],
+        ]
+    }
+
+    /// Encrypt one block with the retained byte-oriented FIPS-197 rounds —
+    /// the reference path the crypto-equivalence gate pins
+    /// [`encrypt_block`](Aes::encrypt_block) against, and the "before"
+    /// series of the `crypto_throughput` bench.
+    pub fn encrypt_block_ref(&self, block: &mut [u8; 16]) {
         let nr = self.size.rounds();
         Self::add_round_key(block, &self.round_keys[0]);
         for r in 1..nr {
@@ -322,8 +545,9 @@ impl Aes {
         Self::add_round_key(block, &self.round_keys[nr]);
     }
 
-    /// Decrypt one 16-byte block in place.
-    pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+    /// Decrypt one block with the retained byte-oriented FIPS-197 rounds
+    /// (see [`encrypt_block_ref`](Aes::encrypt_block_ref)).
+    pub fn decrypt_block_ref(&self, block: &mut [u8; 16]) {
         let nr = self.size.rounds();
         Self::add_round_key(block, &self.round_keys[nr]);
         for r in (1..nr).rev() {
@@ -433,6 +657,17 @@ mod tests {
         assert_eq!(ginv(0), 0);
     }
 
+    #[test]
+    fn reference_path_passes_fips197_vectors() {
+        let key = hex("000102030405060708090a0b0c0d0e0f");
+        let aes = Aes::new(KeySize::Aes128, &key);
+        let mut block: [u8; 16] = hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        aes.encrypt_block_ref(&mut block);
+        assert_eq!(block.to_vec(), hex("69c4e0d86a7b0430d8cdb78070b4c55a"));
+        aes.decrypt_block_ref(&mut block);
+        assert_eq!(block.to_vec(), hex("00112233445566778899aabbccddeeff"));
+    }
+
     proptest::proptest! {
         #[test]
         fn roundtrip_all_sizes(key in proptest::collection::vec(0u8..=255, 32),
@@ -445,6 +680,24 @@ mod tests {
                 proptest::prop_assert_ne!(&block[..], &orig[..]);
                 aes.decrypt_block(&mut block);
                 proptest::prop_assert_eq!(&block[..], &orig[..]);
+            }
+        }
+
+        #[test]
+        fn ttable_path_matches_reference(key in proptest::collection::vec(0u8..=255, 32),
+                                         pt in proptest::collection::vec(0u8..=255, 16)) {
+            let block: [u8; 16] = pt.clone().try_into().unwrap();
+            for size in [KeySize::Aes128, KeySize::Aes192, KeySize::Aes256] {
+                let aes = Aes::new(size, &key[..size.key_len()]);
+                let mut fast = block;
+                let mut slow = block;
+                aes.encrypt_block(&mut fast);
+                aes.encrypt_block_ref(&mut slow);
+                proptest::prop_assert_eq!(&fast[..], &slow[..]);
+                aes.decrypt_block(&mut fast);
+                aes.decrypt_block_ref(&mut slow);
+                proptest::prop_assert_eq!(&fast[..], &slow[..]);
+                proptest::prop_assert_eq!(&fast[..], &block[..]);
             }
         }
     }

@@ -4,8 +4,35 @@
 //! decryption are the same operation (XOR with the encrypted counter
 //! stream), which is what the storage layers use for tuple payloads and
 //! whole pages.
+//!
+//! The keystream is generated block-parallel-friendly: the IV's word lanes
+//! are loaded once outside the loop (the per-block work is one counter-lane
+//! substitution plus the T-table block encryption), and the XOR runs in
+//! u128 lanes for whole blocks instead of byte-at-a-time. The original
+//! per-byte path survives as [`AesCtr::apply_ref`] for the
+//! crypto-equivalence gate and before/after throughput reporting.
 
 use crate::aes::{Aes, KeySize};
+
+/// Process-wide switch routing [`AesCtr::apply`] (and with it every
+/// substrate built on it: tuple payloads, sectors, the encrypted audit
+/// log) through the retained byte-oriented reference path. **Benchmark
+/// instrumentation only**: the two paths are byte-identical (the
+/// crypto-equivalence gate), so flipping this changes wall-clock time and
+/// nothing else — which is exactly what lets `repro crypto` measure a
+/// true end-to-end before/after on the same engine build.
+static REFERENCE_MODE: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Enable/disable the process-wide reference mode (bench harness only).
+/// Returns the previous value. Key-schedule caching is unaffected — the
+/// toggle isolates the round/XOR implementation.
+pub fn set_reference_mode(on: bool) -> bool {
+    REFERENCE_MODE.swap(on, std::sync::atomic::Ordering::Relaxed)
+}
+
+fn reference_mode() -> bool {
+    REFERENCE_MODE.load(std::sync::atomic::Ordering::Relaxed)
+}
 
 /// AES in counter mode with a 16-byte initial counter block.
 #[derive(Clone, Debug)]
@@ -35,12 +62,83 @@ impl AesCtr {
     /// and increments once per 16-byte block. Calling this twice with the
     /// same IV restores the original data (CTR is an involution).
     pub fn apply(&self, iv: [u8; 16], data: &mut [u8]) {
+        if reference_mode() {
+            return self.apply_ref(iv, data);
+        }
+        let whole = data.len() & !15;
+        let (blocks, tail) = data.split_at_mut(whole);
+        self.xor_keystream(iv, 0, blocks);
+        if !tail.is_empty() {
+            let ks = self.keystream_block(iv, (whole / 16) as u64);
+            for (d, k) in tail.iter_mut().zip(ks.iter()) {
+                *d ^= k;
+            }
+        }
+    }
+
+    /// [`apply`](AesCtr::apply) specialised to whole 16-byte blocks — the
+    /// entry [`SectorCipher`](crate::sector::SectorCipher) uses for page
+    /// work, where the tail check is dead weight on every sector.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` is not a multiple of 16.
+    pub fn apply_blocks(&self, iv: [u8; 16], data: &mut [u8]) {
+        assert!(
+            data.len().is_multiple_of(16),
+            "apply_blocks requires whole blocks"
+        );
+        if reference_mode() {
+            return self.apply_ref(iv, data);
+        }
+        self.xor_keystream(iv, 0, data);
+    }
+
+    /// The keystream block at `block_index` counter steps past `iv`.
+    fn keystream_block(&self, iv: [u8; 16], block_index: u64) -> [u8; 16] {
+        let mut block = iv;
+        let counter =
+            u64::from_be_bytes(iv[8..16].try_into().expect("8 bytes")).wrapping_add(block_index);
+        block[8..16].copy_from_slice(&counter.to_be_bytes());
+        self.aes.encrypt_block(&mut block);
+        block
+    }
+
+    /// XOR whole blocks of `data` (`len % 16 == 0`) with the keystream
+    /// starting `start_block` counter steps past `iv`. The IV's word
+    /// lanes are set up once here — per block only the counter lanes
+    /// change — and the XOR runs over u128 lanes.
+    fn xor_keystream(&self, iv: [u8; 16], start_block: u64, data: &mut [u8]) {
+        let hi = u32::from_be_bytes(iv[0..4].try_into().expect("4 bytes"));
+        let lo = u32::from_be_bytes(iv[4..8].try_into().expect("4 bytes"));
+        let mut counter =
+            u64::from_be_bytes(iv[8..16].try_into().expect("8 bytes")).wrapping_add(start_block);
+        for chunk in data.chunks_exact_mut(16) {
+            let ks = self
+                .aes
+                .encrypt_words([hi, lo, (counter >> 32) as u32, counter as u32]);
+            let mut ks_bytes = [0u8; 16];
+            for (c, w) in ks.into_iter().enumerate() {
+                ks_bytes[4 * c..4 * c + 4].copy_from_slice(&w.to_be_bytes());
+            }
+            let lane = u128::from_ne_bytes(chunk[..16].try_into().expect("16 bytes"))
+                ^ u128::from_ne_bytes(ks_bytes);
+            chunk.copy_from_slice(&lane.to_ne_bytes());
+            counter = counter.wrapping_add(1);
+        }
+    }
+
+    /// The retained byte-oriented CTR path: reference AES rounds and
+    /// byte-at-a-time XOR, exactly the pre-T-table implementation. The
+    /// crypto-equivalence gate holds [`apply`](AesCtr::apply) to this
+    /// output on unaligned lengths and random IVs; the `crypto_throughput`
+    /// bench reports it as the "before" series.
+    pub fn apply_ref(&self, iv: [u8; 16], data: &mut [u8]) {
         let mut counter_block = iv;
         let mut counter = u64::from_be_bytes(iv[8..16].try_into().expect("8 bytes"));
         for chunk in data.chunks_mut(16) {
             counter_block[8..16].copy_from_slice(&counter.to_be_bytes());
             let mut ks = counter_block;
-            self.aes.encrypt_block(&mut ks);
+            self.aes.encrypt_block_ref(&mut ks);
             for (d, k) in chunk.iter_mut().zip(ks.iter()) {
                 *d ^= k;
             }
@@ -136,6 +234,25 @@ mod tests {
         assert_eq!(data, vec![0xAA; 5]);
     }
 
+    #[test]
+    fn apply_blocks_matches_apply_on_page_sized_buffers() {
+        let ctr = AesCtr::from_key(KeySize::Aes256, &[0x17; 32]);
+        let iv = AesCtr::iv_from_nonce(99);
+        let mut a: Vec<u8> = (0..4096).map(|i| i as u8).collect();
+        let mut b = a.clone();
+        ctr.apply(iv, &mut a);
+        ctr.apply_blocks(iv, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole blocks")]
+    fn apply_blocks_rejects_partial_blocks() {
+        let ctr = AesCtr::from_key(KeySize::Aes128, &[1u8; 16]);
+        let mut data = vec![0u8; 17];
+        ctr.apply_blocks(AesCtr::iv_from_nonce(1), &mut data);
+    }
+
     proptest::proptest! {
         #[test]
         fn involution_property(nonce in proptest::prelude::any::<u64>(),
@@ -146,6 +263,22 @@ mod tests {
             ctr.apply(iv, &mut buf);
             ctr.apply(iv, &mut buf);
             proptest::prop_assert_eq!(buf, data);
+        }
+
+        #[test]
+        fn lane_xor_path_matches_reference(iv in proptest::collection::vec(0u8..=255, 16),
+                                           data in proptest::collection::vec(0u8..=255, 0..260)) {
+            // Random IVs exercise counter carries; lengths cover empty,
+            // sub-block, block-aligned and straddling buffers.
+            let iv: [u8; 16] = iv.try_into().unwrap();
+            for size in [KeySize::Aes128, KeySize::Aes192, KeySize::Aes256] {
+                let ctr = AesCtr::from_key(size, &[0x5C; 32][..size.key_len()]);
+                let mut fast = data.clone();
+                let mut slow = data.clone();
+                ctr.apply(iv, &mut fast);
+                ctr.apply_ref(iv, &mut slow);
+                proptest::prop_assert_eq!(&fast, &slow);
+            }
         }
     }
 }

@@ -14,6 +14,13 @@
 //! behaviour of encrypted data paths inside a simulator, not to protect real
 //! secrets.
 //!
+//! The hot path is throughput-oriented: AES rounds run over fused u32
+//! T-tables, CTR XORs whole blocks in u128 lanes, and the per-unit
+//! [`vault`] caches expanded key schedules. The original byte-oriented
+//! rounds are retained (`*_ref` entry points) as the reference
+//! implementation a property-based equivalence gate pins the fast path
+//! against — see the workspace `tests/prop_crypto.rs`.
+//!
 //! Modules:
 //! * [`aes`] — AES-128/192/256 block cipher (encrypt + decrypt).
 //! * [`ctr`] — AES-CTR stream mode used for tuple- and page-level encryption.

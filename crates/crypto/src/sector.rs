@@ -46,8 +46,24 @@ impl SectorCipher {
     }
 
     /// Encrypt (or decrypt — CTR is an involution) sector `sector` in place.
+    ///
+    /// Sector I/O is page-granular, so the common case takes the
+    /// whole-block [`AesCtr::apply_blocks`] fast path; ragged buffers
+    /// (tests, partial sectors) fall back to the general entry.
     pub fn apply(&self, sector: u64, data: &mut [u8]) {
-        self.ctr.apply(self.sector_iv(sector), data);
+        let iv = self.sector_iv(sector);
+        if data.len().is_multiple_of(16) {
+            self.ctr.apply_blocks(iv, data);
+        } else {
+            self.ctr.apply(iv, data);
+        }
+    }
+
+    /// The retained reference path ([`AesCtr::apply_ref`]) under the same
+    /// sector-IV binding — the crypto-equivalence gate's oracle and the
+    /// "before" series of the sector-substrate throughput bench.
+    pub fn apply_ref(&self, sector: u64, data: &mut [u8]) {
+        self.ctr.apply_ref(self.sector_iv(sector), data);
     }
 }
 

@@ -9,6 +9,7 @@
 //! compares this against VACUUM FULL + drive sanitisation.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::aes::KeySize;
 use crate::ctr::AesCtr;
@@ -50,12 +51,27 @@ pub enum KeyState {
 /// Keys are derived deterministically from a vault master secret and the
 /// unit id, then stored; destroying a key removes the material and records
 /// a tombstone so audits can prove *when* erasure became irreversible.
+///
+/// The vault also owns each live key's **expanded schedule**: the
+/// [`AesCtr`] is built once when the key materialises and handed out as a
+/// shared [`Arc`] by [`cipher`](KeyVault::cipher), so per-operation crypto
+/// never re-runs key expansion. [`destroy_key`](KeyVault::destroy_key)
+/// drops the cached schedule together with the key material — after it,
+/// no path through the vault can reach a working cipher, which is what
+/// keeps crypto-erasure semantics intact under caching.
 #[derive(Debug)]
 pub struct KeyVault {
     master: [u8; 32],
     size: KeySize,
     keys: HashMap<u64, Vec<u8>>,
+    schedules: HashMap<u64, Arc<AesCtr>>,
     states: HashMap<u64, KeyState>,
+    /// Monotonic per-unit key generation, bumped by every
+    /// [`destroy_key`](KeyVault::destroy_key) and hashed into the
+    /// derivation — so no destroyed generation's material can ever be
+    /// re-derived, no matter how many destroy/recreate cycles a unit
+    /// goes through.
+    generations: HashMap<u64, u64>,
 }
 
 impl KeyVault {
@@ -65,7 +81,9 @@ impl KeyVault {
             master: Sha256::digest(master_secret),
             size,
             keys: HashMap::new(),
+            schedules: HashMap::new(),
             states: HashMap::new(),
+            generations: HashMap::new(),
         }
     }
 
@@ -74,25 +92,21 @@ impl KeyVault {
         self.size
     }
 
-    /// Create (or return the existing) key for `unit`.
+    /// Create (or return the existing) key for `unit`, expanding its
+    /// cipher schedule into the cache alongside.
     pub fn ensure_key(&mut self, unit: u64) -> &[u8] {
-        if self.states.get(&unit) == Some(&KeyState::Destroyed) {
-            // A destroyed key must never be silently recreated with the same
-            // material. Derive a fresh generation by hashing in the state.
-            let key = self.derive(unit, 1);
-            self.states.insert(unit, KeyState::Live);
-            return self.keys.entry(unit).or_insert(key);
-        }
+        // A destroyed key must never be silently recreated with the same
+        // material: every destroy bumped the unit's generation, and the
+        // generation is hashed into the derivation.
+        let generation = self.generations.get(&unit).copied().unwrap_or(0);
         self.states.insert(unit, KeyState::Live);
-        let size = self.size;
-        let master = self.master;
-        self.keys
-            .entry(unit)
-            .or_insert_with(|| Self::derive_raw(&master, size, unit, 0))
-    }
-
-    fn derive(&self, unit: u64, generation: u64) -> Vec<u8> {
-        Self::derive_raw(&self.master, self.size, unit, generation)
+        if !self.keys.contains_key(&unit) {
+            let key = Self::derive_raw(&self.master, self.size, unit, generation);
+            self.schedules
+                .insert(unit, Arc::new(AesCtr::from_key(self.size, &key)));
+            self.keys.insert(unit, key);
+        }
+        self.keys.get(&unit).expect("just ensured")
     }
 
     fn derive_raw(master: &[u8; 32], size: KeySize, unit: u64, generation: u64) -> Vec<u8> {
@@ -117,10 +131,13 @@ impl KeyVault {
         }
     }
 
-    /// A CTR cipher for the unit, if its key is live.
-    pub fn cipher(&self, unit: u64) -> Result<AesCtr, VaultError> {
-        match self.keys.get(&unit) {
-            Some(k) => Ok(AesCtr::from_key(self.size, k)),
+    /// The unit's CTR cipher, if its key is live — a shared handle to the
+    /// schedule expanded once at [`ensure_key`](KeyVault::ensure_key)
+    /// time, cheap enough to hand to every operation (and to worker
+    /// threads: the handle is `Send + Sync`).
+    pub fn cipher(&self, unit: u64) -> Result<Arc<AesCtr>, VaultError> {
+        match self.schedules.get(&unit) {
+            Some(c) => Ok(Arc::clone(c)),
             None => Err(VaultError::KeyUnavailable(unit)),
         }
     }
@@ -128,11 +145,17 @@ impl KeyVault {
     /// Destroy the key for `unit` — the crypto-erasure system-action.
     ///
     /// Returns true if a live key existed. After this call, ciphertexts of
-    /// the unit are permanently unreadable through the vault.
+    /// the unit are permanently unreadable through the vault: both the key
+    /// material and its cached cipher schedule are dropped. (Handles
+    /// already held by in-flight work finish their operation — exactly
+    /// like sequential execution, where the erase only takes effect after
+    /// the preceding operation completed.)
     pub fn destroy_key(&mut self, unit: u64) -> bool {
         let existed = self.keys.remove(&unit).is_some();
+        self.schedules.remove(&unit);
         if existed {
             self.states.insert(unit, KeyState::Destroyed);
+            *self.generations.entry(unit).or_insert(0) += 1;
         }
         existed
     }
@@ -203,6 +226,71 @@ mod tests {
             let mut v = KeyVault::new(b"m", size);
             assert_eq!(v.ensure_key(1).len(), len);
         }
+    }
+
+    #[test]
+    fn destroy_drops_cached_schedule_and_blocks_reencryption() {
+        let mut v = KeyVault::new(b"master", KeySize::Aes128);
+        v.ensure_key(5);
+        let cipher = v.cipher(5).unwrap();
+        let mut data = b"unit-5-plaintext".to_vec();
+        cipher.apply(AesCtr::iv_from_nonce(5), &mut data);
+        v.destroy_key(5);
+        // The cached schedule went with the key: any attempt to encrypt
+        // or decrypt through the vault now fails typed.
+        assert_eq!(v.cipher(5).unwrap_err(), VaultError::KeyUnavailable(5));
+        // A handle obtained before the destroy still works (in-flight
+        // operations complete, like sequential execution), but the vault
+        // itself can never mint another.
+        cipher.apply(AesCtr::iv_from_nonce(5), &mut data);
+        assert_eq!(&data, b"unit-5-plaintext");
+    }
+
+    #[test]
+    fn destroyed_generations_never_return_across_cycles() {
+        // The generation counter is monotonic: a second (third, …)
+        // destroy/recreate cycle must not resurrect any previously
+        // destroyed generation's material.
+        let mut v = KeyVault::new(b"master", KeySize::Aes128);
+        let mut seen: Vec<Vec<u8>> = Vec::new();
+        for cycle in 0..4 {
+            let key = v.ensure_key(11).to_vec();
+            assert!(
+                !seen.contains(&key),
+                "cycle {cycle} re-derived a destroyed generation's key"
+            );
+            seen.push(key);
+            v.destroy_key(11);
+        }
+    }
+
+    #[test]
+    fn cached_schedule_is_shared_not_reexpanded() {
+        let mut v = KeyVault::new(b"master", KeySize::Aes256);
+        v.ensure_key(3);
+        let a = v.cipher(3).unwrap();
+        let b = v.cipher(3).unwrap();
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "cipher() must hand out the one cached schedule"
+        );
+    }
+
+    #[test]
+    fn recreated_key_gets_fresh_schedule() {
+        let mut v = KeyVault::new(b"master", KeySize::Aes128);
+        v.ensure_key(9);
+        let old = v.cipher(9).unwrap();
+        v.destroy_key(9);
+        v.ensure_key(9);
+        let new = v.cipher(9).unwrap();
+        assert!(!Arc::ptr_eq(&old, &new));
+        // And the fresh schedule encrypts under the *new* generation.
+        let mut a = b"x".repeat(32);
+        let mut b = a.clone();
+        old.apply(AesCtr::iv_from_nonce(9), &mut a);
+        new.apply(AesCtr::iv_from_nonce(9), &mut b);
+        assert_ne!(a, b, "destroyed-generation keystream must not return");
     }
 
     #[test]

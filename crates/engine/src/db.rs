@@ -44,7 +44,7 @@ use datacase_storage::heap::HeapDb;
 use datacase_workloads::opstream::{MetaField, MetaSelector};
 
 use crate::error::EngineError;
-use crate::exec::{CachedDecision, DecisionCache, DecryptJob, StagedRead};
+use crate::exec::{CachedDecision, CipherJob, CipherPool, DecisionCache, StagedRead};
 use crate::frontend::{Reply, Request};
 use crate::profiles::{DeleteStrategy, EngineConfig, ProfileKind};
 
@@ -102,7 +102,9 @@ pub struct CompliantDb {
     clock: SimClock,
     meter: Arc<Meter>,
     decisions: DecisionCache,
-    workers: usize,
+    /// The persistent apply-stage AES pool (present when the pipeline is
+    /// on and more than one worker is available).
+    pool: Option<CipherPool>,
     /// Pipelined-span mode: audit records are charged and sequenced
     /// immediately but queued in `pending_log` instead of entering the
     /// store, until the span flushes (see `datacase_engine::exec`).
@@ -203,6 +205,7 @@ impl CompliantDb {
                 .min(8),
             n => n,
         };
+        let pool = (config.pipeline && workers > 1).then(|| CipherPool::new(workers));
         let decisions = DecisionCache::new(config.decision_cache);
         let mut db = CompliantDb {
             config,
@@ -226,7 +229,7 @@ impl CompliantDb {
             clock,
             meter,
             decisions,
-            workers,
+            pool,
             deferred: false,
             pending_log: Vec::new(),
             deletes_since_maintenance: 0,
@@ -368,9 +371,14 @@ impl CompliantDb {
         self.enforcer.epoch()
     }
 
-    /// Worker threads the pipeline's apply stage may fan out across.
-    pub(crate) fn workers(&self) -> usize {
-        self.workers
+    /// The persistent apply-stage AES worker pool, if fan-out is possible.
+    pub(crate) fn pool(&self) -> Option<&CipherPool> {
+        self.pool.as_ref()
+    }
+
+    /// Minimum distinct span bytes before apply-stage AES fans out.
+    pub(crate) fn fanout_bytes(&self) -> usize {
+        self.config.pipeline_fanout_bytes
     }
 
     /// Live decision-cache entries (tests).
@@ -408,9 +416,55 @@ impl CompliantDb {
 
     /// Commit the deferred queue to the log store in sequence order (the
     /// pipeline's account stage).
+    ///
+    /// When the logger encrypts payloads at rest (P_SYS), the AES runs
+    /// *here*, fanned out across the apply-stage workers, instead of
+    /// serially inside every append: each queued record's payload is
+    /// transformed with the logger's shared cipher schedule under
+    /// `iv_from_nonce(seq)` — deterministic, so the committed bytes (and
+    /// the tamper-evidence chain) are identical to serial execution —
+    /// and committed via [`AuditLogger::append_ciphered`]. Costs were
+    /// charged at op time either way.
     pub(crate) fn commit_deferred(&mut self) {
+        let cipher = match self.logger.payload_cipher() {
+            // No at-rest payload cipher, or no pool to fan out over
+            // (single-core host): append_precharged does the right thing
+            // inline — same bytes, no job round-trip.
+            Some(c) if self.pool.is_some() => c,
+            _ => {
+                for rec in std::mem::take(&mut self.pending_log) {
+                    self.logger.append_precharged(rec);
+                }
+                return;
+            }
+        };
+        let mut jobs: Vec<CipherJob> = self
+            .pending_log
+            .iter_mut()
+            .enumerate()
+            .filter(|(_, rec)| !rec.payload.is_empty())
+            .map(|(slot, rec)| CipherJob {
+                slot,
+                // Every record seq is unique: jobs spread round-robin
+                // over the workers and the dedup pass never coalesces.
+                shard: rec.seq,
+                cipher: std::sync::Arc::clone(&cipher),
+                iv: AesCtr::iv_from_nonce(rec.seq),
+                data: std::mem::take(&mut rec.payload),
+            })
+            .collect();
+        crate::exec::run_jobs(
+            &mut jobs,
+            self.pool.as_ref(),
+            self.config.pipeline_fanout_bytes,
+            // One job per unique record seq: nothing to dedup.
+            false,
+        );
+        for job in jobs {
+            self.pending_log[job.slot].payload = job.data;
+        }
         for rec in std::mem::take(&mut self.pending_log) {
-            self.logger.append_precharged(rec);
+            self.logger.append_ciphered(rec);
         }
     }
 
@@ -811,7 +865,7 @@ impl CompliantDb {
     /// The decide/charge half of a point read (the pipeline's serial
     /// pass). Policy check, storage read, decrypt *charges*, history and
     /// audit accounting all happen here, in submission order; the AES
-    /// work itself is returned as a [`DecryptJob`] for the apply stage.
+    /// work itself is returned as a [`CipherJob`] for the apply stage.
     /// AES-CTR preserves length, so the reply is complete without it.
     pub(crate) fn stage_read(
         &mut self,
@@ -848,7 +902,7 @@ impl CompliantDb {
                         .charge(self.clock.model().aes_cost(bits, stored.len()));
                     Meter::bump(&self.meter.crypto_bytes, stored.len() as u64);
                     let len = stored.len();
-                    job = Some(DecryptJob {
+                    job = Some(CipherJob {
                         slot: 0, // assigned when the record is queued
                         shard: meta.unit.0,
                         iv: AesCtr::iv_from_nonce(meta.unit.0),
@@ -902,13 +956,13 @@ impl CompliantDb {
 
     /// A point read within a pipelined span: the audit record joins the
     /// deferred queue with its payload still encrypted, and the AES work
-    /// comes back as a [`DecryptJob`] addressing that queue slot.
+    /// comes back as a [`CipherJob`] addressing that queue slot.
     pub(crate) fn read_deferred(
         &mut self,
         key: u64,
         actor: Actor,
         declared: Option<PurposeId>,
-    ) -> (Result<Reply, EngineError>, Option<DecryptJob>) {
+    ) -> (Result<Reply, EngineError>, Option<CipherJob>) {
         let staged = self.stage_read(key, actor, declared);
         self.defer_staged(staged)
     }
@@ -920,7 +974,7 @@ impl CompliantDb {
         key: u64,
         actor: Actor,
         declared: Option<PurposeId>,
-    ) -> (Result<Reply, EngineError>, Option<DecryptJob>) {
+    ) -> (Result<Reply, EngineError>, Option<CipherJob>) {
         let staged = self.stage_read_meta(key, actor, declared);
         self.defer_staged(staged)
     }
@@ -928,7 +982,7 @@ impl CompliantDb {
     fn defer_staged(
         &mut self,
         staged: StagedRead,
-    ) -> (Result<Reply, EngineError>, Option<DecryptJob>) {
+    ) -> (Result<Reply, EngineError>, Option<CipherJob>) {
         debug_assert!(self.deferred, "deferred reads require span mode");
         let StagedRead {
             outcome,

@@ -25,7 +25,11 @@
 //! 4. **Account** — the span's audit records, queued in sequence order
 //!    during the serial pass, are committed to the log store in that
 //!    order (decrypted payloads patched in first), so the
-//!    tamper-evidence chain is byte-identical to a sequential run's.
+//!    tamper-evidence chain is byte-identical to a sequential run's. On
+//!    the P_SYS encrypted log the records' payload AES itself runs on
+//!    the apply-stage workers before the in-order commit: the ciphertext
+//!    is deterministic per record (`iv_from_nonce(seq)`), so the chain
+//!    bytes cannot diverge from serial execution.
 //!
 //! The `prop_frontend` parity suite holds both modes — pipeline on and
 //! off — to the same replies, meter counters, forensic residuals, and
@@ -226,26 +230,29 @@ impl DecisionCache {
 // Apply stage: deferred payload work
 // ---------------------------------------------------------------------
 
-/// Payload work a staged read defers out of the serial pass: decrypting
-/// the stored tuple bytes into a queued audit record's payload. All
-/// simulated costs were charged when the job was created; running it is
-/// pure host CPU.
-pub(crate) struct DecryptJob {
-    /// Index of the record this job's plaintext belongs to, within the
+/// Payload AES work deferred out of the serial pass — CTR is an
+/// involution, so the same job shape covers both directions: decrypting
+/// stored tuple bytes into a queued audit record's payload (the read
+/// path), and encrypting queued payloads into their at-rest form for the
+/// P_SYS encrypted log (the account path). All simulated costs were
+/// charged when the job was created; running it is pure host CPU.
+pub(crate) struct CipherJob {
+    /// Index of the record this job's output belongs to, within the
     /// engine's deferred-record queue.
     pub slot: usize,
-    /// Fan-out shard (the unit id): jobs of one unit always land on the
-    /// same worker, preserving per-unit order.
+    /// Fan-out shard (unit id for tuple work, record seq for log work):
+    /// jobs of one shard always land on the same worker, preserving
+    /// per-shard order.
     pub shard: u64,
-    /// The unit's cipher (AES-CTR is its own inverse).
-    pub cipher: AesCtr,
-    /// The tuple's IV.
+    /// The expanded cipher schedule, shared — never re-expanded per job.
+    pub cipher: std::sync::Arc<AesCtr>,
+    /// The payload's IV.
     pub iv: [u8; 16],
-    /// Ciphertext in, plaintext out.
+    /// Ciphertext in, plaintext out (or vice versa).
     pub data: Vec<u8>,
 }
 
-impl DecryptJob {
+impl CipherJob {
     /// Perform the AES work in place (charges were paid at staging).
     pub(crate) fn run(&mut self) {
         self.cipher.apply(self.iv, &mut self.data);
@@ -263,7 +270,7 @@ pub(crate) struct StagedRead {
     /// bytes fill it in before the record reaches the store.
     pub pending: Option<datacase_audit::record::LogRecord>,
     /// Deferred decryption feeding `pending`'s payload.
-    pub job: Option<DecryptJob>,
+    pub job: Option<CipherJob>,
 }
 
 impl StagedRead {
@@ -277,11 +284,94 @@ impl StagedRead {
     }
 }
 
-/// Below this many unique jobs a span decrypts inline: scoped-thread
-/// spawn costs more than it saves.
+/// Below this many unique jobs a span runs its AES inline: scoped-thread
+/// spawn costs more than it saves. Byte volume has its own threshold
+/// ([`crate::profiles::EngineConfig::pipeline_fanout_bytes`]) — job
+/// *count* alone is a bad proxy since the crypto overhaul: 256
+/// cached-key 100-byte decrypts are only ~25 KiB of AES, gone in ~100 µs
+/// on the T-table path.
 const MIN_FANOUT_JOBS: usize = 24;
 
-/// Run a span's decrypt jobs.
+/// A persistent pool of AES workers, spawned once per engine and fed one
+/// batch of jobs per span flush. Replaces the per-span
+/// `std::thread::scope` fan-out: with the T-table path a typical span's
+/// AES is a few hundred microseconds of work, and re-spawning workers for
+/// every span cost more than it saved.
+///
+/// The protocol is a plain fan-out/fan-in: distinct jobs are sharded to
+/// the workers' queues, each worker runs its batch and sends it back, the
+/// caller reassembles by index. Workers idle on `recv` between flushes
+/// and exit when the engine (and with it the senders) drops.
+pub(crate) struct CipherPool {
+    txs: Vec<std::sync::mpsc::Sender<Vec<(usize, CipherJob)>>>,
+    done_rx: std::sync::mpsc::Receiver<Vec<(usize, CipherJob)>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl CipherPool {
+    /// Spawn `workers` (≥ 2) pool threads.
+    pub(crate) fn new(workers: usize) -> CipherPool {
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        let mut txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = std::sync::mpsc::channel::<Vec<(usize, CipherJob)>>();
+            let done = done_tx.clone();
+            handles.push(std::thread::spawn(move || {
+                while let Ok(mut batch) = rx.recv() {
+                    for (_, job) in batch.iter_mut() {
+                        job.run();
+                    }
+                    if done.send(batch).is_err() {
+                        break;
+                    }
+                }
+            }));
+            txs.push(tx);
+        }
+        CipherPool {
+            txs,
+            done_rx,
+            handles,
+        }
+    }
+
+    /// Pool width.
+    pub(crate) fn workers(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Run the per-worker batches to completion, returning every
+    /// (index, job) pair once its AES is done.
+    fn dispatch(&self, batches: Vec<Vec<(usize, CipherJob)>>) -> Vec<(usize, CipherJob)> {
+        let mut outstanding = 0usize;
+        let mut total = 0usize;
+        for (worker, batch) in batches.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            total += batch.len();
+            self.txs[worker].send(batch).expect("cipher worker alive");
+            outstanding += 1;
+        }
+        let mut done = Vec::with_capacity(total);
+        for _ in 0..outstanding {
+            done.extend(self.done_rx.recv().expect("cipher worker alive"));
+        }
+        done
+    }
+}
+
+impl Drop for CipherPool {
+    fn drop(&mut self) {
+        self.txs.clear(); // workers see a closed channel and exit
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Run a span's cipher jobs.
 ///
 /// Two batch-level optimizations sequential execution structurally cannot
 /// make:
@@ -292,13 +382,23 @@ const MIN_FANOUT_JOBS: usize = 24;
 ///   output. Simulated decrypt costs were charged per read in the serial
 ///   pass, exactly as sequential execution charges them — only host CPU
 ///   is deduplicated.
-/// * **Fan-out** — distinct jobs spread across `workers` scoped threads,
-///   sharded by unit id so one worker owns all of a unit's work.
-fn run_jobs(jobs: &mut [DecryptJob], workers: usize) {
+/// * **Fan-out** — spans carrying at least `min_fanout_bytes` of distinct
+///   AES work spread it across the persistent [`CipherPool`], sharded by
+///   `CipherJob::shard` so one worker owns all of a shard's work; smaller
+///   spans run inline, where the T-table path finishes before the pool
+///   round-trip would.
+pub(crate) fn run_jobs(
+    jobs: &mut Vec<CipherJob>,
+    pool: Option<&CipherPool>,
+    min_fanout_bytes: usize,
+    dedup: bool,
+) {
     // Dedup by (shard, iv, fingerprint-of-ciphertext) buckets without
     // cloning payloads: a bucket hit compares the actual bytes, so a
     // fingerprint collision can only cost a comparison, never a wrong
-    // plaintext.
+    // plaintext. Callers whose jobs are distinct by construction (log
+    // encryption: one job per unique record seq) pass `dedup: false`
+    // and skip the full-payload fingerprint pass entirely.
     let fingerprint = |data: &[u8]| -> u64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for &b in data {
@@ -306,51 +406,54 @@ fn run_jobs(jobs: &mut [DecryptJob], workers: usize) {
         }
         h
     };
-    let mut buckets: HashMap<(u64, [u8; 16], u64), Vec<usize>> = HashMap::with_capacity(jobs.len());
     let mut dups: Vec<(usize, usize)> = Vec::new();
     let mut is_dup = vec![false; jobs.len()];
-    let mut distinct = 0usize;
-    for i in 0..jobs.len() {
-        let key = (jobs[i].shard, jobs[i].iv, fingerprint(&jobs[i].data));
-        let bucket = buckets.entry(key).or_default();
-        match bucket.iter().find(|&&r| jobs[r].data == jobs[i].data) {
-            Some(&rep) => {
-                dups.push((i, rep));
-                is_dup[i] = true;
-            }
-            None => {
-                bucket.push(i);
-                distinct += 1;
+    let mut distinct = jobs.len();
+    let mut distinct_bytes: usize = jobs.iter().map(|j| j.data.len()).sum();
+    if dedup {
+        let mut buckets: HashMap<(u64, [u8; 16], u64), Vec<usize>> =
+            HashMap::with_capacity(jobs.len());
+        distinct = 0;
+        distinct_bytes = 0;
+        for i in 0..jobs.len() {
+            let key = (jobs[i].shard, jobs[i].iv, fingerprint(&jobs[i].data));
+            let bucket = buckets.entry(key).or_default();
+            match bucket.iter().find(|&&r| jobs[r].data == jobs[i].data) {
+                Some(&rep) => {
+                    dups.push((i, rep));
+                    is_dup[i] = true;
+                }
+                None => {
+                    bucket.push(i);
+                    distinct += 1;
+                    distinct_bytes += jobs[i].data.len();
+                }
             }
         }
     }
-    if workers <= 1 || distinct < MIN_FANOUT_JOBS {
+    let workers = pool.map(CipherPool::workers).unwrap_or(1);
+    if workers <= 1 || distinct < MIN_FANOUT_JOBS || distinct_bytes < min_fanout_bytes {
         for (i, job) in jobs.iter_mut().enumerate() {
             if !is_dup[i] {
                 job.run();
             }
         }
     } else {
-        let mut shards: Vec<Vec<&mut DecryptJob>> = Vec::new();
-        shards.resize_with(workers, Vec::new);
-        for (i, job) in jobs.iter_mut().enumerate() {
+        let pool = pool.expect("workers > 1 implies a pool");
+        let mut slots: Vec<Option<CipherJob>> = jobs.drain(..).map(Some).collect();
+        let mut batches: Vec<Vec<(usize, CipherJob)>> = Vec::new();
+        batches.resize_with(workers, Vec::new);
+        for (i, slot) in slots.iter_mut().enumerate() {
             if !is_dup[i] {
-                let shard = (job.shard % workers as u64) as usize;
-                shards[shard].push(job);
+                let job = slot.take().expect("distinct job present");
+                let worker = (job.shard % workers as u64) as usize;
+                batches[worker].push((i, job));
             }
         }
-        std::thread::scope(|scope| {
-            for shard in shards {
-                if shard.is_empty() {
-                    continue;
-                }
-                scope.spawn(move || {
-                    for job in shard {
-                        job.run();
-                    }
-                });
-            }
-        });
+        for (i, job) in pool.dispatch(batches) {
+            slots[i] = Some(job);
+        }
+        jobs.extend(slots.into_iter().map(|s| s.expect("all jobs returned")));
     }
     for (dup, rep) in dups {
         jobs[dup].data = jobs[rep].data.clone();
@@ -359,9 +462,12 @@ fn run_jobs(jobs: &mut [DecryptJob], workers: usize) {
 
 /// Apply + account: run the accumulated decrypt jobs (fanned out), patch
 /// their plaintexts into the deferred audit records, and commit the queue
-/// to the log store in sequence order.
-fn flush_span(db: &mut CompliantDb, jobs: &mut Vec<DecryptJob>) {
-    run_jobs(jobs, db.workers());
+/// to the log store in sequence order. On encrypted-log profiles (P_SYS)
+/// the commit itself fans the records' payload AES out over the same
+/// workers first — see [`CompliantDb::commit_deferred`] — so the last
+/// serial AES of the account pass is gone.
+fn flush_span(db: &mut CompliantDb, jobs: &mut Vec<CipherJob>) {
+    run_jobs(jobs, db.pool(), db.fanout_bytes(), true);
     for job in jobs.drain(..) {
         db.fill_deferred(job.slot, job.data);
     }
@@ -390,7 +496,7 @@ pub(crate) fn execute<T: Borrow<Request>>(
         return responses;
     }
     let segments = plan(requests.iter().map(Borrow::borrow), db.config());
-    let mut jobs: Vec<DecryptJob> = Vec::new();
+    let mut jobs: Vec<CipherJob> = Vec::new();
     db.set_deferred(true);
     for segment in segments {
         match segment {
@@ -438,7 +544,7 @@ fn run_one(
     session: &Session,
     request: &Request,
     index: usize,
-    jobs: Option<&mut Vec<DecryptJob>>,
+    jobs: Option<&mut Vec<CipherJob>>,
 ) -> Response {
     let seq_before = db.log_seq();
     let outcome = if admitted(db, session) {

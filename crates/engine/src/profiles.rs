@@ -130,7 +130,17 @@ pub struct EngineConfig {
     /// parallelism (capped at 8). Sharding of work across workers is by
     /// unit id, so per-unit ordering is stable.
     pub pipeline_workers: usize,
+    /// Minimum distinct payload bytes in a span before its AES work fans
+    /// out across worker threads; smaller spans run inline, where the
+    /// T-table path finishes faster than the workers could be spawned.
+    /// Lower it (tests use `0`) to force the threaded path.
+    pub pipeline_fanout_bytes: usize,
 }
+
+/// Default [`EngineConfig::pipeline_fanout_bytes`]: ~200 µs of AES at
+/// T-table throughput, about where fan-out starts beating worker spawn
+/// cost.
+pub const DEFAULT_FANOUT_BYTES: usize = 64 * 1024;
 
 impl EngineConfig {
     /// Stock engine (vanilla PSQL stand-in) with a delete strategy —
@@ -152,6 +162,7 @@ impl EngineConfig {
             decision_cache: 0,
             pipeline: true,
             pipeline_workers: 0,
+            pipeline_fanout_bytes: DEFAULT_FANOUT_BYTES,
         }
     }
 
@@ -173,6 +184,7 @@ impl EngineConfig {
             decision_cache: 0,
             pipeline: true,
             pipeline_workers: 0,
+            pipeline_fanout_bytes: DEFAULT_FANOUT_BYTES,
         }
     }
 
@@ -197,6 +209,7 @@ impl EngineConfig {
             decision_cache: 0,
             pipeline: true,
             pipeline_workers: 0,
+            pipeline_fanout_bytes: DEFAULT_FANOUT_BYTES,
         }
     }
 
@@ -218,6 +231,7 @@ impl EngineConfig {
             decision_cache: 0,
             pipeline: true,
             pipeline_workers: 0,
+            pipeline_fanout_bytes: DEFAULT_FANOUT_BYTES,
         }
     }
 

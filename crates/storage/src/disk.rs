@@ -6,6 +6,12 @@
 //! reveal. With sector encryption enabled, residuals are ciphertext and a
 //! plaintext scan comes back clean — exactly the protection the paper's
 //! profile P_GBench buys with LUKS.
+//!
+//! Every encrypted page read/write routes through
+//! [`SectorCipher::apply`], whose page-sized buffers take the
+//! whole-block T-table fast path (`AesCtr::apply_blocks`) — the sector
+//! layer is the biggest per-byte AES consumer in the system, so this is
+//! where the crypto overhaul pays the most.
 
 use datacase_crypto::sector::SectorCipher;
 use datacase_sim::{Meter, SimClock};

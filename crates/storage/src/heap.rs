@@ -130,6 +130,9 @@ impl HeapDb {
     /// A fresh heap with the given config, clock and meter.
     pub fn new(config: HeapConfig, clock: SimClock, meter: Arc<Meter>) -> HeapDb {
         let disk = match &config.disk_passphrase {
+            // The KDF and the AES key schedule run once here; every page
+            // the disk encrypts afterwards reuses the expanded schedule
+            // through the whole-block fast path.
             Some(pass) => Disk::encrypted(
                 clock.clone(),
                 meter.clone(),

@@ -47,6 +47,10 @@ pub struct Ycsb {
     records: u64,
     mall: MallGenerator,
     payload_size: usize,
+    /// When set, load-phase payloads are padded/truncated to this size
+    /// (classic YCSB uses 1 KiB records); `None` keeps the natural
+    /// MallGenerator record.
+    load_payload_size: Option<usize>,
 }
 
 impl std::fmt::Debug for Ycsb {
@@ -67,14 +71,28 @@ impl Ycsb {
             records,
             mall: MallGenerator::new(datacase_sim::rng::child_seed(seed, "ycsb-mall"), 1000, 64),
             payload_size: 100,
+            load_payload_size: None,
         }
+    }
+
+    /// Use `bytes`-sized payloads for both phases (classic YCSB records
+    /// are 1 KiB; the default here is the compact 100-byte shape the
+    /// paper figures use). Load-phase records are padded/truncated to the
+    /// size, update payloads generated at it.
+    pub fn with_payload_size(mut self, bytes: usize) -> Ycsb {
+        self.payload_size = bytes;
+        self.load_payload_size = Some(bytes);
+        self
     }
 
     /// The load phase: create all `records` keys.
     pub fn load_phase(&mut self) -> Vec<Op> {
         (0..self.records)
             .map(|key| {
-                let (_, metadata, payload) = self.mall.record();
+                let (_, metadata, mut payload) = self.mall.record();
+                if let Some(size) = self.load_payload_size {
+                    payload.resize(size, b'.');
+                }
                 Op::Create {
                     key,
                     payload,

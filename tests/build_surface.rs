@@ -38,6 +38,7 @@ const BENCHES: &[&str] = &[
     "ablation_policy_index",
     "ablation_vacuum_period",
     "backend_matrix",
+    "crypto_throughput",
     "fig4a_erasure_interpretations",
     "fig4b_profiles",
     "fig4c_scalability",

@@ -1,0 +1,95 @@
+//! Crypto-equivalence gate: the throughput-oriented crypto hot path must
+//! be byte-identical to the retained byte-oriented reference
+//! implementation.
+//!
+//! The fast path — fused-T-table AES rounds, the equivalent inverse
+//! cipher, and the u128-lane CTR XOR — and the reference path — the
+//! original FIPS-197 byte rounds and byte-at-a-time XOR — coexist in
+//! `datacase_crypto`. This suite pins them together on random keys, IVs
+//! and *unaligned* lengths for all three key sizes, so any future round
+//! tweak that diverges from FIPS-197 fails CI by name ("Crypto-equivalence
+//! gate") instead of silently corrupting ciphertexts. The FIPS/NIST known
+//! vectors live next to the implementations in `crates/crypto`.
+
+use proptest::prelude::*;
+
+use data_case::crypto::aes::{Aes, KeySize};
+use data_case::crypto::ctr::AesCtr;
+use data_case::crypto::sector::SectorCipher;
+
+const ALL_SIZES: [KeySize; 3] = [KeySize::Aes128, KeySize::Aes192, KeySize::Aes256];
+
+proptest! {
+    /// Block level: T-table encrypt/decrypt ≡ reference rounds, and the
+    /// pair still round-trips.
+    #[test]
+    fn block_paths_agree(key in proptest::collection::vec(0u8..=255, 32),
+                         pt in proptest::collection::vec(0u8..=255, 16)) {
+        let block: [u8; 16] = pt.try_into().unwrap();
+        for size in ALL_SIZES {
+            let aes = Aes::new(size, &key[..size.key_len()]);
+            let mut fast = block;
+            let mut slow = block;
+            aes.encrypt_block(&mut fast);
+            aes.encrypt_block_ref(&mut slow);
+            prop_assert_eq!(fast, slow, "{:?} encrypt diverged", size);
+            aes.decrypt_block(&mut fast);
+            aes.decrypt_block_ref(&mut slow);
+            prop_assert_eq!(fast, slow, "{:?} decrypt diverged", size);
+            prop_assert_eq!(fast, block, "{:?} round-trip broken", size);
+        }
+    }
+
+    /// Stream level: lane-XOR CTR ≡ reference CTR on random IVs (counter
+    /// carries included) and ragged lengths — empty, sub-block, aligned,
+    /// and straddling buffers.
+    #[test]
+    fn ctr_paths_agree(key in proptest::collection::vec(0u8..=255, 32),
+                       iv in proptest::collection::vec(0u8..=255, 16),
+                       data in proptest::collection::vec(0u8..=255, 0..300)) {
+        let iv: [u8; 16] = iv.try_into().unwrap();
+        for size in ALL_SIZES {
+            let ctr = AesCtr::from_key(size, &key[..size.key_len()]);
+            let mut fast = data.clone();
+            let mut slow = data.clone();
+            ctr.apply(iv, &mut fast);
+            ctr.apply_ref(iv, &mut slow);
+            prop_assert_eq!(&fast, &slow, "{:?} CTR diverged", size);
+            // Involution through the fast path alone.
+            ctr.apply(iv, &mut fast);
+            prop_assert_eq!(&fast, &data, "{:?} CTR involution broken", size);
+        }
+    }
+
+    /// The whole-block entry used for page work must agree with the
+    /// general entry (and therefore with the reference).
+    #[test]
+    fn apply_blocks_agrees_with_apply(key in proptest::collection::vec(0u8..=255, 16),
+                                      nonce in any::<u64>(),
+                                      blocks in 0usize..20) {
+        let ctr = AesCtr::from_key(KeySize::Aes128, &key);
+        let iv = AesCtr::iv_from_nonce(nonce);
+        let data: Vec<u8> = (0..blocks * 16).map(|i| i as u8).collect();
+        let mut a = data.clone();
+        let mut b = data;
+        ctr.apply(iv, &mut a);
+        ctr.apply_blocks(iv, &mut b);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Sector level: the page fast path under the ESSIV-flavoured IV
+    /// binding matches its reference twin.
+    #[test]
+    fn sector_paths_agree(pass in proptest::collection::vec(0u8..=255, 1..24),
+                          sector in any::<u64>(),
+                          data in proptest::collection::vec(0u8..=255, 0..300)) {
+        for size in ALL_SIZES {
+            let sc = SectorCipher::from_passphrase(&pass, size);
+            let mut fast = data.clone();
+            let mut slow = data.clone();
+            sc.apply(sector, &mut fast);
+            sc.apply_ref(sector, &mut slow);
+            prop_assert_eq!(&fast, &slow, "{:?} sector cipher diverged", size);
+        }
+    }
+}

@@ -47,8 +47,11 @@ fn run(
         .with_decision_cache(cache);
     config.maintenance_every = 25;
     // Force several apply-stage workers so the scoped-thread fan-out path
-    // is exercised (and proven identical) regardless of host core count.
+    // is exercised (and proven identical) regardless of host core count,
+    // and drop the byte threshold so these small GDPRBench payloads
+    // actually cross it.
     config.pipeline_workers = 3;
+    config.pipeline_fanout_bytes = 0;
     let mut fe = Frontend::new(config);
     let mut bench = GdprBench::new(seed, 60);
     let controller = Session::new(Actor::Controller);
