@@ -405,6 +405,15 @@ impl EncryptedLogger {
             core: LogCore::new(chain_key, clock, meter),
         }
     }
+
+    /// Route payload encryption through the retained reference AES path
+    /// (see [`AesCtr::with_reference_mode`]) — per-logger, for A/B bench
+    /// engines. Ciphertext bytes are unchanged, only the implementation
+    /// measured.
+    pub fn with_reference_crypto(mut self, on: bool) -> EncryptedLogger {
+        self.cipher = std::sync::Arc::new(self.cipher.as_ref().clone().with_reference_mode(on));
+        self
+    }
 }
 
 impl AuditLogger for EncryptedLogger {

@@ -1,0 +1,29 @@
+//! Criterion bench for the concurrent multi-session engine: 1, 2, and 4
+//! closed-loop client sessions over a fixed 4-shard engine on read-heavy
+//! YCSB-B. The engine's contract is that every shard's simulated
+//! timeline is bit-identical regardless of the session count (each shard
+//! always executes the same pre-partitioned stream in the same order) —
+//! what this bench measures is the *wall-clock* payoff of driving the
+//! shards from more client threads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datacase_bench::figures::mt_cell;
+use datacase_storage::backend::BackendKind;
+
+fn bench_mt_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mt_throughput");
+    group.sample_size(10);
+    for sessions in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("heap/ycsb-b/{sessions}-sessions")),
+            &sessions,
+            |b, &sessions| {
+                b.iter(|| mt_cell(BackendKind::Heap, sessions, 2_000, 2_000, 4242));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mt_throughput);
+criterion_main!(benches);

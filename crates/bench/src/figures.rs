@@ -14,10 +14,11 @@ use datacase_engine::profiles::{DeleteStrategy, EngineConfig, ProfileKind};
 use datacase_engine::space::SpaceReport;
 use datacase_engine::Actor;
 use datacase_sim::report::{f3, Table};
-use datacase_sim::time::Dur;
+use datacase_sim::time::{Dur, Ts};
 use datacase_storage::backend::BackendKind;
 use datacase_workloads::gdprbench::{GdprBench, Mix};
 use datacase_workloads::ycsb::{Ycsb, YcsbWorkload};
+use std::time::Instant;
 
 /// Scale knob for quick runs (divides record/txn counts).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -953,9 +954,9 @@ impl CryptoPoint {
 
 /// One end-to-end encrypted-profile cell: transaction-phase wall times
 /// through three crypto configurations of the *same* engine build —
-/// the retained byte-oriented reference rounds (toggled via
-/// [`set_reference_mode`](datacase_crypto::ctr::set_reference_mode), so
-/// results are bit-identical and only wall time moves), the T-table path
+/// the retained byte-oriented reference rounds (selected per engine via
+/// [`EngineConfig::with_reference_crypto`], so results are bit-identical
+/// and only wall time moves), the T-table path
 /// with the pipeline off, and the T-table path with the pipeline on
 /// (apply-stage fan-out of tuple **and** P_SYS audit-log AES, which pays
 /// off on multi-core hosts).
@@ -1061,12 +1062,14 @@ pub fn crypto_cell(
     profile: ProfileKind,
     workload: YcsbWorkload,
     pipeline: bool,
+    reference: bool,
     records: u64,
     txns: u64,
     seed: u64,
 ) -> RunStats {
     let mut config = EngineConfig::for_profile(profile)
         .with_pipeline(pipeline)
+        .with_reference_crypto(reference)
         .with_decision_cache(4096);
     config.heap.buffer_pages = buffer_pages_for(records);
     let mut fe = Frontend::new(config);
@@ -1122,9 +1125,8 @@ pub fn crypto_matrix(scale: Scale) -> (Table, Table, Vec<CryptoPoint>, Vec<Crypt
             let mut sim = 0.0;
             let mut ops = 0;
             for rep in 0..PIPELINE_REPS {
-                let was = datacase_crypto::ctr::set_reference_mode(reference);
-                let stats = crypto_cell(profile, workload, pipeline, records, txns, seed);
-                datacase_crypto::ctr::set_reference_mode(was);
+                let stats =
+                    crypto_cell(profile, workload, pipeline, reference, records, txns, seed);
                 best_wall = best_wall.min(stats.wall.as_secs_f64() * 1e3);
                 let rep_sim = stats.sim_ops_per_sec();
                 assert!(
@@ -1203,6 +1205,245 @@ pub fn crypto_json(points: &[CryptoPoint], e2e: &[CryptoEndToEnd], scale: Scale)
             c.reference_wall_ms / c.pipelined_wall_ms,
             c.sim_ops_per_sec,
             if i + 1 < e2e.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------
+// Multi-session concurrent-engine throughput (BENCH_mt.json)
+// ---------------------------------------------------------------------
+
+/// Shards in every mt cell. Fixed across session counts so the per-shard
+/// request streams — and therefore the per-shard simulated timelines —
+/// are bit-identical whether one session drives all four shards or four
+/// sessions drive one each.
+pub const MT_SHARDS: usize = 4;
+/// Requests per submitted sub-batch.
+pub const MT_BATCH: usize = 256;
+/// Record payload: classic YCSB 1 KiB rows, so P_Base's per-tuple AES
+/// dominates and extra sessions buy real CPU parallelism.
+pub const MT_PAYLOAD: usize = 1024;
+/// Wall-clock reps per cell (best-of).
+pub const MT_REPS: usize = 3;
+/// Per-batch client think time (milliseconds), TPC-style: each
+/// closed-loop session sleeps this long after every completed batch,
+/// modelling the app/network work a real client does between
+/// submissions. Think time is what makes session concurrency visible as
+/// aggregate throughput even on one core — while one session thinks,
+/// the engine serves the others — and it is exactly what the old serial
+/// frontend could never overlap. Sleeping touches neither the simulated
+/// clock nor the per-shard request order, so the CostModel columns stay
+/// bit-identical across session counts.
+pub const MT_THINK_MS: u64 = 3;
+
+/// One measured multi-session cell: `sessions` closed-loop clients over
+/// a [`MT_SHARDS`]-way [`datacase_engine::ConcurrentEngine`].
+#[derive(Clone, Debug)]
+pub struct MtPoint {
+    /// Storage backend on every shard.
+    pub backend: BackendKind,
+    /// Concurrent closed-loop sessions.
+    pub sessions: usize,
+    /// Transaction-phase requests executed.
+    pub ops: usize,
+    /// Best-of-reps transaction-phase wall milliseconds.
+    pub wall_ms: f64,
+    /// Final simulated instant of each shard's clock — the CostModel
+    /// column. Identical across session counts by construction (each
+    /// shard always executes the same stream in the same order); the
+    /// matrix asserts it.
+    pub shard_sim: Vec<Ts>,
+}
+
+impl MtPoint {
+    /// Aggregate wall-clock throughput in kops/s.
+    pub fn kops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.wall_ms
+    }
+}
+
+/// Run one multi-session cell: load through the handle, pre-partition a
+/// read-heavy YCSB-B transaction stream by shard, then let `sessions`
+/// client threads drive disjoint shard subsets closed-loop (one
+/// outstanding ticket per session, round-robin over its shards, with
+/// [`MT_THINK_MS`] of think time after every completed batch).
+///
+/// Every session count submits the **identical per-shard request
+/// sequence** — sharding is by key, the streams are pre-partitioned, and
+/// a shard's sub-batches arrive in stream order no matter which client
+/// owns it — so each shard's simulated timeline is bit-identical to the
+/// single-session run and only wall time responds to the added
+/// concurrency (overlapped think time everywhere; overlapped shard CPU
+/// on multi-core hosts). The per-shard pipeline stays off: each shard
+/// worker is one thread, so cells measure pure session-level scaling.
+pub fn mt_cell(
+    backend: BackendKind,
+    sessions: usize,
+    records: u64,
+    txns: u64,
+    seed: u64,
+) -> MtPoint {
+    assert!(
+        MT_SHARDS.is_multiple_of(sessions),
+        "sessions must evenly divide the shard count"
+    );
+    let mut config = EngineConfig::p_base()
+        .with_backend(backend)
+        .with_pipeline(false)
+        .with_decision_cache(4096);
+    config.heap.buffer_pages = buffer_pages_for(records / MT_SHARDS as u64);
+    let engine = datacase_engine::ConcurrentEngine::new(config, MT_SHARDS);
+    let handle = engine.handle();
+    let controller = Session::new(Actor::Controller);
+    let mut y = Ycsb::new(seed, records).with_payload_size(MT_PAYLOAD);
+    for chunk in y.load_phase().chunks(MT_BATCH) {
+        let requests: Vec<Request> = chunk.iter().map(Request::from).collect();
+        handle.submit(&controller, &requests).wait();
+    }
+    let ops = y.ops(txns as usize, YcsbWorkload::B);
+    let total_ops = ops.len();
+    let mut per_shard: Vec<Vec<Request>> = vec![Vec::new(); MT_SHARDS];
+    for op in &ops {
+        let request = Request::from(op);
+        let shard = datacase_engine::shard_of(&request, MT_SHARDS)
+            .expect("YCSB requests are key-addressed");
+        per_shard[shard].push(request);
+    }
+    let wall_start = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..sessions {
+            let handle = engine.handle();
+            let owned: Vec<&[Request]> = per_shard
+                .iter()
+                .enumerate()
+                .filter(|(shard, _)| shard % sessions == client)
+                .map(|(_, stream)| stream.as_slice())
+                .collect();
+            scope.spawn(move || {
+                let session = Session::new(Actor::Processor);
+                let mut cursors = vec![0usize; owned.len()];
+                loop {
+                    let mut progressed = false;
+                    for (i, stream) in owned.iter().enumerate() {
+                        let lo = cursors[i];
+                        if lo >= stream.len() {
+                            continue;
+                        }
+                        let hi = (lo + MT_BATCH).min(stream.len());
+                        cursors[i] = hi;
+                        progressed = true;
+                        handle.submit(&session, &stream[lo..hi]).wait();
+                        std::thread::sleep(std::time::Duration::from_millis(MT_THINK_MS));
+                    }
+                    if !progressed {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    let wall_ms = wall_start.elapsed().as_secs_f64() * 1e3;
+    drop(handle);
+    let frontends = engine.shutdown();
+    let shard_sim = frontends.iter().map(|fe| fe.clock().now()).collect();
+    MtPoint {
+        backend,
+        sessions,
+        ops: total_ops,
+        wall_ms,
+        shard_sim,
+    }
+}
+
+/// The multi-session scaling matrix: 1, 2, and 4 closed-loop sessions
+/// over the 4-shard concurrent engine (read-heavy YCSB-B, heap shards),
+/// best of [`MT_REPS`] wall-clock reps per cell, with the per-shard
+/// simulated timelines asserted bit-identical across every rep and every
+/// session count.
+pub fn mt_matrix(scale: Scale) -> (Table, Vec<MtPoint>) {
+    let records = scale.div(20_000);
+    let txns = scale.div(20_000);
+    let backend = BackendKind::Heap;
+    let seed = 7;
+    let mut points: Vec<MtPoint> = Vec::new();
+    for sessions in [1usize, 2, 4] {
+        let mut best: Option<MtPoint> = None;
+        for _ in 0..MT_REPS {
+            let p = mt_cell(backend, sessions, records, txns, seed);
+            if let Some(b) = &best {
+                assert_eq!(
+                    b.shard_sim, p.shard_sim,
+                    "simulated shard timelines must be deterministic across reps"
+                );
+            }
+            if best.as_ref().is_none_or(|b| p.wall_ms < b.wall_ms) {
+                let wall_ms = best.map_or(p.wall_ms, |b| b.wall_ms.min(p.wall_ms));
+                best = Some(MtPoint { wall_ms, ..p });
+            }
+        }
+        let best = best.expect("at least one rep");
+        if let Some(first) = points.first() {
+            assert_eq!(
+                first.shard_sim, best.shard_sim,
+                "per-shard simulated timelines must not depend on the session count"
+            );
+        }
+        points.push(best);
+    }
+    let base = points[0].wall_ms;
+    let mut table = Table::new(
+        format!(
+            "Multi-session scaling — {MT_SHARDS} heap shards, YCSB-B, records={records}, txns={txns}, batch={MT_BATCH}, {MT_PAYLOAD} B records, think={MT_THINK_MS}ms"
+        ),
+        &[
+            "sessions",
+            "wall (ms)",
+            "kops/s",
+            "speedup vs 1 session",
+            "sim identical",
+        ],
+    );
+    for p in &points {
+        table.row(vec![
+            p.sessions.to_string(),
+            f3(p.wall_ms),
+            f3(p.kops_per_sec()),
+            format!("{:.2}x", base / p.wall_ms),
+            "yes".into(),
+        ]);
+    }
+    (table, points)
+}
+
+/// Render the mt points as the `BENCH_mt.json` document: one object per
+/// session count with wall time, aggregate throughput, the scaling
+/// factor vs the single-session cell, and the (identical) per-shard
+/// simulated timeline as evidence of the determinism contract.
+pub fn mt_json(points: &[MtPoint], scale: Scale) -> String {
+    let mut out = String::from("{\n  \"bench\": \"mt_throughput\",\n");
+    out.push_str(&format!(
+        "  \"scale_divisor\": {},\n  \"shards\": {MT_SHARDS},\n  \"batch\": {MT_BATCH},\n  \"think_ms\": {MT_THINK_MS},\n  \"reps\": {MT_REPS},\n  \"cells\": [\n",
+        scale.0
+    ));
+    let base = points.first().map_or(1.0, |p| p.wall_ms);
+    for (i, p) in points.iter().enumerate() {
+        let sim: Vec<String> = p
+            .shard_sim
+            .iter()
+            .map(|ts| format!("{:.3}", ts.as_millis_f64()))
+            .collect();
+        out.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"sessions\": {}, \"ops\": {}, \"wall_ms\": {:.3}, \"kops_per_sec\": {:.3}, \"scaling_vs_1_session\": {:.3}, \"shard_sim_ms\": [{}]}}{}\n",
+            p.backend.label(),
+            p.sessions,
+            p.ops,
+            p.wall_ms,
+            p.kops_per_sec(),
+            base / p.wall_ms,
+            sim.join(", "),
+            if i + 1 < points.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");

@@ -14,41 +14,47 @@
 
 use crate::aes::{Aes, KeySize};
 
-/// Process-wide switch routing [`AesCtr::apply`] (and with it every
-/// substrate built on it: tuple payloads, sectors, the encrypted audit
-/// log) through the retained byte-oriented reference path. **Benchmark
-/// instrumentation only**: the two paths are byte-identical (the
-/// crypto-equivalence gate), so flipping this changes wall-clock time and
-/// nothing else — which is exactly what lets `repro crypto` measure a
-/// true end-to-end before/after on the same engine build.
-static REFERENCE_MODE: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
-
-/// Enable/disable the process-wide reference mode (bench harness only).
-/// Returns the previous value. Key-schedule caching is unaffected — the
-/// toggle isolates the round/XOR implementation.
-pub fn set_reference_mode(on: bool) -> bool {
-    REFERENCE_MODE.swap(on, std::sync::atomic::Ordering::Relaxed)
-}
-
-fn reference_mode() -> bool {
-    REFERENCE_MODE.load(std::sync::atomic::Ordering::Relaxed)
-}
-
 /// AES in counter mode with a 16-byte initial counter block.
 #[derive(Clone, Debug)]
 pub struct AesCtr {
     aes: Aes,
+    /// Route [`apply`](AesCtr::apply) / [`apply_blocks`](AesCtr::apply_blocks)
+    /// through the retained byte-oriented reference path. **Benchmark
+    /// instrumentation only**: the two paths are byte-identical (the
+    /// crypto-equivalence gate), so the flag changes wall-clock time and
+    /// nothing else. The switch is per-instance — an earlier process-wide
+    /// toggle would have let one engine's A/B run silently reroute every
+    /// other engine in the process, which a concurrent sharded engine
+    /// cannot tolerate.
+    reference: bool,
 }
 
 impl AesCtr {
     /// Build from an already-expanded cipher.
     pub fn new(aes: Aes) -> AesCtr {
-        AesCtr { aes }
+        AesCtr {
+            aes,
+            reference: false,
+        }
     }
 
     /// Convenience constructor from raw key bytes.
     pub fn from_key(size: KeySize, key: &[u8]) -> AesCtr {
         AesCtr::new(Aes::new(size, key))
+    }
+
+    /// Route this instance (and only this instance) through the retained
+    /// byte-oriented reference path — the "before" series of the crypto
+    /// throughput A/B. Key-schedule caching is unaffected; the flag
+    /// isolates the round/XOR implementation.
+    pub fn with_reference_mode(mut self, on: bool) -> AesCtr {
+        self.reference = on;
+        self
+    }
+
+    /// Whether this instance takes the reference path.
+    pub fn is_reference(&self) -> bool {
+        self.reference
     }
 
     /// The underlying key size (for cost accounting).
@@ -62,7 +68,7 @@ impl AesCtr {
     /// and increments once per 16-byte block. Calling this twice with the
     /// same IV restores the original data (CTR is an involution).
     pub fn apply(&self, iv: [u8; 16], data: &mut [u8]) {
-        if reference_mode() {
+        if self.reference {
             return self.apply_ref(iv, data);
         }
         let whole = data.len() & !15;
@@ -87,7 +93,7 @@ impl AesCtr {
             data.len().is_multiple_of(16),
             "apply_blocks requires whole blocks"
         );
-        if reference_mode() {
+        if self.reference {
             return self.apply_ref(iv, data);
         }
         self.xor_keystream(iv, 0, data);
@@ -232,6 +238,23 @@ mod tests {
         ctr.apply(iv, &mut data);
         ctr.apply(iv, &mut data);
         assert_eq!(data, vec![0xAA; 5]);
+    }
+
+    #[test]
+    fn reference_mode_is_per_instance_and_byte_identical() {
+        let fast = AesCtr::from_key(KeySize::Aes128, &[7u8; 16]);
+        let slow = fast.clone().with_reference_mode(true);
+        assert!(
+            !fast.is_reference(),
+            "the flag must not leak across instances"
+        );
+        assert!(slow.is_reference());
+        let iv = AesCtr::iv_from_nonce(11);
+        let mut a: Vec<u8> = (0..100).map(|i| i as u8).collect();
+        let mut b = a.clone();
+        fast.apply(iv, &mut a);
+        slow.apply(iv, &mut b);
+        assert_eq!(a, b, "the two paths produce identical ciphertext");
     }
 
     #[test]

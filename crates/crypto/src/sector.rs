@@ -34,6 +34,14 @@ impl SectorCipher {
         self.ctr.key_size()
     }
 
+    /// Route this cipher through the retained reference AES path (see
+    /// [`AesCtr::with_reference_mode`]) — per-instance, for A/B bench
+    /// engines that must not affect other engines in the process.
+    pub fn with_reference_mode(mut self, on: bool) -> SectorCipher {
+        self.ctr = self.ctr.with_reference_mode(on);
+        self
+    }
+
     fn sector_iv(&self, sector: u64) -> [u8; 16] {
         let mut h = Sha256::new();
         h.update(&self.iv_salt);

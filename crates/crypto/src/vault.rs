@@ -72,6 +72,9 @@ pub struct KeyVault {
     /// re-derived, no matter how many destroy/recreate cycles a unit
     /// goes through.
     generations: HashMap<u64, u64>,
+    /// Build schedules on the reference AES path (bench A/B only; see
+    /// [`AesCtr::with_reference_mode`]).
+    reference: bool,
 }
 
 impl KeyVault {
@@ -84,7 +87,16 @@ impl KeyVault {
             schedules: HashMap::new(),
             states: HashMap::new(),
             generations: HashMap::new(),
+            reference: false,
         }
+    }
+
+    /// Expand all future schedules on the retained reference AES path —
+    /// per-vault, so one bench engine's A/B cannot reroute any other
+    /// engine in the process. Derived key *material* is unchanged.
+    pub fn with_reference_mode(mut self, on: bool) -> KeyVault {
+        self.reference = on;
+        self
     }
 
     /// The configured key size.
@@ -102,8 +114,10 @@ impl KeyVault {
         self.states.insert(unit, KeyState::Live);
         if !self.keys.contains_key(&unit) {
             let key = Self::derive_raw(&self.master, self.size, unit, generation);
-            self.schedules
-                .insert(unit, Arc::new(AesCtr::from_key(self.size, &key)));
+            self.schedules.insert(
+                unit,
+                Arc::new(AesCtr::from_key(self.size, &key).with_reference_mode(self.reference)),
+            );
             self.keys.insert(unit, key);
         }
         self.keys.get(&unit).expect("just ensured")

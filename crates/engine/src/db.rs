@@ -29,7 +29,7 @@ use datacase_core::value::Value;
 use datacase_crypto::ctr::AesCtr;
 use datacase_crypto::vault::KeyVault;
 use datacase_policy::enforcer::{
-    AccessRequest, Decision, PolicyEnforcer, PolicyEpoch, VersionedEnforcer,
+    AccessRequest, Decision, EpochBus, PolicyEnforcer, PolicyEpoch, VersionedEnforcer,
 };
 use datacase_policy::fgac::{FgacConfig, FgacEnforcer};
 use datacase_policy::metatable::MetaTableEnforcer;
@@ -173,24 +173,24 @@ impl CompliantDb {
                 clock.clone(),
                 meter.clone(),
             )),
-            ProfileKind::PSys => Box::new(EncryptedLogger::new(
-                b"audit-key",
-                clock.clone(),
-                meter.clone(),
-            )),
+            ProfileKind::PSys => Box::new(
+                EncryptedLogger::new(b"audit-key", clock.clone(), meter.clone())
+                    .with_reference_crypto(config.reference_crypto),
+            ),
         };
 
-        let vault = config
-            .tuple_encryption
-            .map(|size| KeyVault::new(b"engine-master-secret", size));
+        let vault = config.tuple_encryption.map(|size| {
+            KeyVault::new(b"engine-master-secret", size)
+                .with_reference_mode(config.reference_crypto)
+        });
 
         // The only place a concrete substrate type appears: construction.
         let backend: Box<dyn StorageBackend> = match config.backend {
-            BackendKind::Heap => Box::new(HeapDb::new(
-                config.heap.clone(),
-                clock.clone(),
-                meter.clone(),
-            )),
+            BackendKind::Heap => {
+                let mut heap = config.heap.clone();
+                heap.reference_crypto = config.reference_crypto;
+                Box::new(HeapDb::new(heap, clock.clone(), meter.clone()))
+            }
             BackendKind::Lsm => Box::new(LsmBackend::new(
                 config.lsm.clone(),
                 clock.clone(),
@@ -369,6 +369,23 @@ impl CompliantDb {
     /// structurally unreachable.
     pub fn policy_epoch(&self) -> PolicyEpoch {
         self.enforcer.epoch()
+    }
+
+    /// Join an engine-wide [`EpochBus`]: global-class policy mutations
+    /// made by this engine are published to the bus, and
+    /// [`sync_epoch_bus`](CompliantDb::sync_epoch_bus) folds remote ones
+    /// into the local epoch — the cross-shard half of decision-cache
+    /// invalidation in a sharded engine.
+    pub(crate) fn attach_epoch_bus(&mut self, bus: EpochBus) {
+        self.enforcer.attach_bus(bus);
+    }
+
+    /// Observe the engine-wide [`EpochBus`] before deciding a batch: if
+    /// another shard published a global-class mutation since the last
+    /// sync, the local epoch bumps and every cached global-class decision
+    /// is stranded. One atomic load when nothing changed.
+    pub(crate) fn sync_epoch_bus(&mut self) {
+        self.enforcer.sync_bus();
     }
 
     /// The persistent apply-stage AES worker pool, if fan-out is possible.

@@ -110,14 +110,17 @@ pub fn run_ops_batched(
 }
 
 /// Results of a sharded run: per-shard stats plus the work counters
-/// aggregated over every shard (the shards share one [`Meter`]).
+/// aggregated over every shard.
 #[derive(Clone, Debug, Default)]
 pub struct ShardedRun {
-    /// One entry per shard, in shard order. Each shard's `work` field is
-    /// its own diff of the *shared* meter, so concurrent shards may see
-    /// each other's counts there; `work` below is authoritative.
+    /// One entry per shard, in shard order. Each shard runs on its own
+    /// [`Meter`], so its `work` field counts exactly that shard's
+    /// transaction-phase work — no cross-shard bleed, whatever the
+    /// thread interleaving.
     pub shards: Vec<RunStats>,
-    /// Work counters accumulated across all shards, load phase included.
+    /// Work counters merged over all shards ([`MeterSnapshot::merge`]),
+    /// load phase included. Addition is commutative, so the aggregate is
+    /// deterministic regardless of how the workers interleaved.
     pub work: MeterSnapshot,
 }
 
@@ -192,8 +195,10 @@ pub fn sharded_run(
 /// over the substrate its [`ShardPlan`] slot names; completion time is
 /// the slowest shard's simulated time (a barrier at the end, as in
 /// multi-client YCSB runs). Every shard is built through
-/// [`Frontend::with_clock`] on its own clock but one shared [`Meter`],
-/// so the run's total work is aggregated in [`ShardedRun::work`].
+/// [`Frontend::with_clock`] on its own clock **and its own [`Meter`]**:
+/// counters never race across threads, each shard's [`RunStats::work`]
+/// is exactly its own work, and the run total in [`ShardedRun::work`]
+/// is the order-independent merge of the per-shard snapshots.
 pub fn sharded_run_plan(
     config: &EngineConfig,
     load: &[Op],
@@ -203,7 +208,6 @@ pub fn sharded_run_plan(
 ) -> ShardedRun {
     let shards = plan.shards();
     assert!(shards > 0, "a shard plan needs at least one shard");
-    let meter = Arc::new(Meter::new());
     let shard_of = |op: &Op, i: usize| -> usize {
         match op.key() {
             Some(k) => (k % shards as u64) as usize,
@@ -218,7 +222,7 @@ pub fn sharded_run_plan(
     for (i, op) in txns.iter().enumerate() {
         txn_parts[shard_of(op, i)].push(op.clone());
     }
-    let shard_stats: Vec<RunStats> = std::thread::scope(|scope| {
+    let shard_results: Vec<(RunStats, MeterSnapshot)> = std::thread::scope(|scope| {
         // Spawn every shard before joining any (collect is eager), then
         // join in shard order so the result index is the shard index.
         let handles: Vec<_> = load_parts
@@ -227,17 +231,20 @@ pub fn sharded_run_plan(
             .zip(&plan.backends)
             .map(|((load_ops, txn_ops), &backend)| {
                 let cfg = config.clone().with_backend(backend);
-                let shard_meter = meter.clone();
                 let batch = plan.batch;
                 scope.spawn(move || {
-                    // Own clock (shards progress independently), shared
-                    // meter (work aggregates across the fleet).
-                    let mut fe = Frontend::with_clock(cfg, SimClock::commodity(), shard_meter);
+                    // Own clock and own meter: shards progress — and
+                    // count — independently; aggregation is a merge
+                    // after the join, not a shared counter during the
+                    // run.
+                    let meter = Arc::new(Meter::new());
+                    let mut fe = Frontend::with_clock(cfg, SimClock::commodity(), meter.clone());
                     let controller = Session::new(Actor::Controller);
                     for chunk in load_ops.chunks(batch.max(1)) {
                         fe.submit_ops(&controller, chunk);
                     }
-                    run_ops_batched(&mut fe, &txn_ops, actor, batch)
+                    let stats = run_ops_batched(&mut fe, &txn_ops, actor, batch);
+                    (stats, meter.snapshot())
                 })
             })
             .collect();
@@ -246,9 +253,12 @@ pub fn sharded_run_plan(
             .map(|h| h.join().expect("shard thread panicked"))
             .collect()
     });
+    let work = shard_results
+        .iter()
+        .fold(MeterSnapshot::default(), |acc, (_, m)| acc.merge(m));
     ShardedRun {
-        shards: shard_stats,
-        work: meter.snapshot(),
+        shards: shard_results.into_iter().map(|(s, _)| s).collect(),
+        work,
     }
 }
 
@@ -334,13 +344,13 @@ mod tests {
     }
 
     #[test]
-    fn sharded_run_aggregates_work_over_shared_meter() {
+    fn sharded_run_merges_per_shard_meters_deterministically() {
         let config = EngineConfig::for_profile(ProfileKind::PBase);
         let mut bench = GdprBench::new(5, 50);
         let load = bench.load_phase(200);
         let txns = bench.ops(100, Mix::wcus());
         let run = sharded_run(&config, &load, &txns, Actor::Subject, 4);
-        // Every load op logs at least one audit record; the aggregate
+        // Every load op logs at least one audit record; the merged
         // snapshot must see all shards' work, not one shard's.
         assert!(
             run.work.log_records >= 200,
@@ -348,6 +358,22 @@ mod tests {
             run.work.log_records
         );
         assert!(run.work.tuples_scanned > 0);
+        // Shards count on private meters: each shard's transaction-phase
+        // work is bounded by (and sums into) the aggregate, which cannot
+        // happen when shards bleed counts into each other's diffs.
+        let txn_sum = run
+            .shards
+            .iter()
+            .fold(MeterSnapshot::default(), |acc, s| acc.merge(&s.work));
+        assert!(txn_sum.log_records <= run.work.log_records);
+        for shard in &run.shards {
+            assert!(shard.work.log_records <= txn_sum.log_records);
+        }
+        // And the aggregate is reproducible: same partitioning, same
+        // per-shard streams, same merged counters on a rerun, however
+        // the 4 threads interleaved.
+        let again = sharded_run(&config, &load, &txns, Actor::Subject, 4);
+        assert_eq!(run.work, again.work, "merge must be interleaving-free");
     }
 
     #[test]

@@ -525,6 +525,90 @@ pub(crate) fn execute<T: Borrow<Request>>(
     responses
 }
 
+/// Execute a queued burst of submissions — possibly from different
+/// sessions — through **one** staged pipeline, overlapping plan/decide/
+/// apply across submission boundaries: a read wave at the tail of one
+/// submission and the head of the next flush as a single span, so queue
+/// bursts amortize fan-out cost that per-call execution cannot.
+///
+/// The contract is the same as [`execute`]'s, extended across the burst:
+/// the account pass stays serial in global submission order, records are
+/// charged and sequenced exactly when sequential execution would have
+/// charged them, and each [`Response`] carries its index *within its own
+/// submission* — so replies, meter counters, forensic residuals and the
+/// audit chain's bytes are all indistinguishable from executing the
+/// submissions one at a time (the multi-session parity gate holds a
+/// concurrent engine to precisely this).
+///
+/// Before each submission's first decide the engine-wide [`EpochBus`] is
+/// observed, so a revoke published by any shard strands stale cached
+/// global allows here no later than the submission boundary.
+///
+/// [`EpochBus`]: datacase_policy::enforcer::EpochBus
+pub(crate) fn execute_many(
+    db: &mut CompliantDb,
+    submissions: &[(Session, Vec<Request>)],
+) -> Vec<Vec<Response>> {
+    if !db.config().pipeline {
+        return submissions
+            .iter()
+            .map(|(session, requests)| {
+                db.sync_epoch_bus();
+                execute(db, session, requests)
+            })
+            .collect();
+    }
+    // Flatten the burst while remembering each request's origin: plan()
+    // sees one stream (spans may straddle submission boundaries), but
+    // sessions and reply indices stay per-submission.
+    let mut origin: Vec<(usize, usize)> = Vec::new();
+    let mut flat: Vec<&Request> = Vec::new();
+    for (s, (_, requests)) in submissions.iter().enumerate() {
+        for (i, request) in requests.iter().enumerate() {
+            origin.push((s, i));
+            flat.push(request);
+        }
+    }
+    let segments = plan(flat.iter().copied(), db.config());
+    let mut out: Vec<Vec<Response>> = submissions
+        .iter()
+        .map(|(_, requests)| Vec::with_capacity(requests.len()))
+        .collect();
+    let mut jobs: Vec<CipherJob> = Vec::new();
+    let mut current = usize::MAX;
+    let mut sync_boundary = |db: &mut CompliantDb, s: usize| {
+        if s != current {
+            current = s;
+            db.sync_epoch_bus();
+        }
+    };
+    db.set_deferred(true);
+    for segment in segments {
+        match segment {
+            Segment::Span(range) => {
+                for g in range {
+                    let (s, i) = origin[g];
+                    sync_boundary(db, s);
+                    let response = run_one(db, &submissions[s].0, flat[g], i, Some(&mut jobs));
+                    out[s].push(response);
+                }
+            }
+            Segment::Barrier(g) => {
+                // The barrier may redact the audit store: commit every
+                // deferred record first, exactly as per-call execution
+                // would have by this point.
+                flush_span(db, &mut jobs);
+                let (s, i) = origin[g];
+                sync_boundary(db, s);
+                out[s].push(run_one(db, &submissions[s].0, flat[g], i, None));
+            }
+        }
+    }
+    flush_span(db, &mut jobs);
+    db.set_deferred(false);
+    out
+}
+
 /// Admission control: a session past its deadline is denied without
 /// touching enforcement — checked per request, so a deadline crossing
 /// mid-batch behaves exactly like it would across single-request

@@ -42,6 +42,7 @@
 
 mod db;
 
+pub mod concurrent;
 pub mod driver;
 pub mod erasure;
 pub mod error;
@@ -52,6 +53,9 @@ pub mod profiles;
 pub mod space;
 pub mod sweeper;
 
+pub use concurrent::{
+    merged_chain_head, shard_of, ConcurrentEngine, EngineHandle, SubmitStamp, Ticket,
+};
 pub use datacase_storage::backend::{BackendKind, BackendStats};
 pub use db::Actor;
 pub use driver::{

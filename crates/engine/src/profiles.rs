@@ -135,6 +135,13 @@ pub struct EngineConfig {
     /// T-table path finishes faster than the workers could be spawned.
     /// Lower it (tests use `0`) to force the threaded path.
     pub pipeline_fanout_bytes: usize,
+    /// Run every AES path this engine constructs (tuple vault, sector
+    /// cipher, encrypted audit log) on the retained byte-oriented
+    /// reference implementation — the "before" series of the crypto A/B.
+    /// Scoped to this engine instance: flipping it for one bench engine
+    /// cannot reroute concurrent engines (or shards) in the same process.
+    /// Ciphertext is byte-identical either way; only wall-clock changes.
+    pub reference_crypto: bool,
 }
 
 /// Default [`EngineConfig::pipeline_fanout_bytes`]: ~200 µs of AES at
@@ -163,6 +170,7 @@ impl EngineConfig {
             pipeline: true,
             pipeline_workers: 0,
             pipeline_fanout_bytes: DEFAULT_FANOUT_BYTES,
+            reference_crypto: false,
         }
     }
 
@@ -185,6 +193,7 @@ impl EngineConfig {
             pipeline: true,
             pipeline_workers: 0,
             pipeline_fanout_bytes: DEFAULT_FANOUT_BYTES,
+            reference_crypto: false,
         }
     }
 
@@ -210,6 +219,7 @@ impl EngineConfig {
             pipeline: true,
             pipeline_workers: 0,
             pipeline_fanout_bytes: DEFAULT_FANOUT_BYTES,
+            reference_crypto: false,
         }
     }
 
@@ -232,6 +242,7 @@ impl EngineConfig {
             pipeline: true,
             pipeline_workers: 0,
             pipeline_fanout_bytes: DEFAULT_FANOUT_BYTES,
+            reference_crypto: false,
         }
     }
 
@@ -263,6 +274,14 @@ impl EngineConfig {
     /// contract, only wall-clock time differs).
     pub fn with_pipeline(mut self, pipeline: bool) -> EngineConfig {
         self.pipeline = pipeline;
+        self
+    }
+
+    /// The same configuration with every AES path forced onto (or off)
+    /// the retained reference implementation — the per-engine switch the
+    /// crypto A/B harness flips. See [`EngineConfig::reference_crypto`].
+    pub fn with_reference_crypto(mut self, on: bool) -> EngineConfig {
+        self.reference_crypto = on;
         self
     }
 

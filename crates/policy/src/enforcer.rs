@@ -10,6 +10,8 @@
 //! structural property, not a TTL heuristic.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use datacase_core::action::ActionKind;
 use datacase_core::ids::{EntityId, UnitId};
@@ -158,6 +160,47 @@ pub trait PolicyEnforcer: Send {
     fn policy_count(&self) -> usize;
 }
 
+/// An engine-wide broadcast channel for [`UnitClass::Global`] policy
+/// mutations, connecting the [`VersionedEnforcer`]s of a sharded engine.
+///
+/// A sharded engine partitions units across shards, so every
+/// [`UnitClass::Unit`] mutation and every decision about that unit happen
+/// on the same shard — per-unit staleness is already handled by that
+/// shard's local epoch. The one class that crosses shards is
+/// [`UnitClass::Global`]: a coarse (RBAC-style) mutation observed by one
+/// shard must strand cached global allows on *every* shard before their
+/// next decide. The bus is exactly that signal: a shared generation
+/// counter that publishers bump and subscribers compare against their
+/// last-seen value, translating a remote global mutation into a local
+/// epoch bump.
+///
+/// Over-notification is sound (a spurious sync merely re-evaluates
+/// decisions against unchanged policy state); missed notification is not,
+/// so [`publish`](EpochBus::publish) uses a sequentially-consistent bump
+/// and subscribers re-check before every decide batch.
+#[derive(Clone, Debug, Default)]
+pub struct EpochBus {
+    generation: Arc<AtomicU64>,
+}
+
+impl EpochBus {
+    /// A fresh bus at generation zero.
+    pub fn new() -> EpochBus {
+        EpochBus::default()
+    }
+
+    /// Announce a global-class policy mutation; returns the new
+    /// generation.
+    pub fn publish(&self) -> u64 {
+        self.generation.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// The current generation.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+}
+
 /// An enforcer wrapped with epoch versioning: every policy-mutating call
 /// routed through this wrapper bumps the [`PolicyEpoch`] and records which
 /// [`UnitClass`] it touched, so callers holding stamped decisions can tell
@@ -172,6 +215,11 @@ pub struct VersionedEnforcer {
     /// Last epoch at which each unit class was mutated. A stamp `s` for
     /// class `c` is current iff `touched[c] <= s` (or `c` never mutated).
     touched: HashMap<UnitClass, PolicyEpoch>,
+    /// Cross-shard propagation of [`UnitClass::Global`] mutations, when
+    /// this enforcer is one shard of a concurrent engine.
+    bus: Option<EpochBus>,
+    /// The bus generation already folded into the local epoch.
+    bus_seen: u64,
 }
 
 impl std::fmt::Debug for VersionedEnforcer {
@@ -190,6 +238,34 @@ impl VersionedEnforcer {
             inner,
             epoch: PolicyEpoch::ZERO,
             touched: HashMap::new(),
+            bus: None,
+            bus_seen: 0,
+        }
+    }
+
+    /// Join an [`EpochBus`]: from now on every [`UnitClass::Global`]
+    /// mutation made through this enforcer is published to the bus, and
+    /// [`sync_bus`](VersionedEnforcer::sync_bus) folds remote global
+    /// mutations into the local epoch. Joins at the bus's current
+    /// generation — decisions cached before the join are the caller's
+    /// responsibility (a fresh enforcer has none).
+    pub fn attach_bus(&mut self, bus: EpochBus) {
+        self.bus_seen = bus.generation();
+        self.bus = Some(bus);
+    }
+
+    /// Fold remote [`UnitClass::Global`] mutations into the local epoch:
+    /// if any other shard published since the last sync, bump the epoch
+    /// for the global class, stranding every cached global-class decision
+    /// on this shard. Call before deciding a batch. No-op without a bus,
+    /// and one relaxed atomic load on the hot path when nothing changed.
+    pub fn sync_bus(&mut self) {
+        let Some(bus) = &self.bus else { return };
+        let generation = bus.generation();
+        if generation != self.bus_seen {
+            self.bus_seen = generation;
+            self.epoch = self.epoch.next();
+            self.touched.insert(UnitClass::Global, self.epoch);
         }
     }
 
@@ -242,6 +318,16 @@ impl VersionedEnforcer {
     fn touch(&mut self, class: UnitClass) {
         self.epoch = self.epoch.next();
         self.touched.insert(class, self.epoch);
+        if class == UnitClass::Global {
+            if let Some(bus) = &self.bus {
+                // Advance past our own publication: the local epoch bump
+                // above already stranded this shard's global decisions. If
+                // another shard published concurrently, whichever of the
+                // two bumps we absorb, ours is the later local
+                // invalidation, so no stale decision survives either way.
+                self.bus_seen = bus.publish();
+            }
+        }
     }
 
     /// Register a new unit with its initial policies. Does **not** bump
@@ -395,6 +481,89 @@ mod tests {
             Ts::from_secs(100),
             "allow holds only through the policy window"
         );
+    }
+
+    /// A minimal coarse mechanism whose revocations actually change
+    /// global decisions — RBAC ignores per-unit revocation, so the bus
+    /// path needs a mechanism that doesn't.
+    struct GlobalToggle {
+        allowed: bool,
+    }
+
+    impl PolicyEnforcer for GlobalToggle {
+        fn name(&self) -> &'static str {
+            "global-toggle"
+        }
+        fn register_unit(&mut self, _: UnitId, _: &[Policy]) {}
+        fn grant(&mut self, _: UnitId, _: Policy) {}
+        fn revoke_all(&mut self, _: UnitId, _: Ts) -> usize {
+            self.allowed = false;
+            1
+        }
+        fn forget_unit(&mut self, _: UnitId) -> u64 {
+            0
+        }
+        fn check(&mut self, _: &AccessRequest) -> Decision {
+            if self.allowed {
+                Decision::Allow
+            } else {
+                Decision::Deny("revoked".into())
+            }
+        }
+        fn decision_scope(&self) -> DecisionScope {
+            DecisionScope::Global
+        }
+        fn metadata_bytes(&self) -> u64 {
+            0
+        }
+        fn policy_count(&self) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn bus_strands_global_decisions_across_shards() {
+        let bus = EpochBus::new();
+        let mut a = VersionedEnforcer::new(Box::new(GlobalToggle { allowed: true }));
+        let mut b = VersionedEnforcer::new(Box::new(GlobalToggle { allowed: true }));
+        a.attach_bus(bus.clone());
+        b.attach_bus(bus.clone());
+        let stamp = b.decide_at(b.epoch(), &req(1, 1, 10));
+        assert!(stamp.decision.is_allow());
+        assert!(b.is_current(UnitClass::Global, stamp.epoch));
+        // Shard A observes a global revocation; the touch publishes it.
+        assert_eq!(a.revoke_all(UnitId(1), Ts::from_secs(20)), 1);
+        assert_eq!(bus.generation(), 1);
+        // Shard B's cached allow is stranded at its next sync, before its
+        // next decide can be served from the cache.
+        b.sync_bus();
+        assert!(!b.is_current(UnitClass::Global, stamp.epoch));
+        // A's own publication is already folded into its local epoch: a
+        // sync after publishing must not strand A's fresh decisions.
+        let fresh = a.decide_at(a.epoch(), &req(1, 1, 30));
+        let before = a.epoch();
+        a.sync_bus();
+        assert_eq!(a.epoch(), before);
+        assert!(a.is_current(UnitClass::Global, fresh.epoch));
+    }
+
+    #[test]
+    fn per_unit_mutations_stay_off_the_bus() {
+        let bus = EpochBus::new();
+        let mut v = versioned_metatable();
+        v.attach_bus(bus.clone());
+        v.register_unit(
+            UnitId(1),
+            &[Policy::open_ended(wk::billing(), EntityId(1), Ts::ZERO)],
+        );
+        assert_eq!(v.revoke_all(UnitId(1), Ts::from_secs(5)), 1);
+        // Unit classes are shard-disjoint in a sharded engine: a per-unit
+        // revocation is the owning shard's business only.
+        assert_eq!(bus.generation(), 0);
+        // And a sync against an idle bus is a no-op.
+        let before = v.epoch();
+        v.sync_bus();
+        assert_eq!(v.epoch(), before);
     }
 
     #[test]

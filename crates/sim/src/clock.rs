@@ -175,6 +175,33 @@ impl Meter {
 }
 
 impl MeterSnapshot {
+    /// Component-wise saturating sum `self + other` — the aggregation step
+    /// for per-shard meters. Sharded drivers give every worker its own
+    /// [`Meter`] (so counters never race across threads) and merge the
+    /// snapshots afterwards; addition is commutative and associative, so
+    /// the aggregate is deterministic regardless of worker interleaving.
+    pub fn merge(&self, other: &MeterSnapshot) -> MeterSnapshot {
+        MeterSnapshot {
+            pages_read_disk: self.pages_read_disk.saturating_add(other.pages_read_disk),
+            pages_read_cached: self
+                .pages_read_cached
+                .saturating_add(other.pages_read_cached),
+            pages_written: self.pages_written.saturating_add(other.pages_written),
+            tuples_scanned: self.tuples_scanned.saturating_add(other.tuples_scanned),
+            dead_tuples_skipped: self
+                .dead_tuples_skipped
+                .saturating_add(other.dead_tuples_skipped),
+            index_probes: self.index_probes.saturating_add(other.index_probes),
+            crypto_bytes: self.crypto_bytes.saturating_add(other.crypto_bytes),
+            log_records: self.log_records.saturating_add(other.log_records),
+            log_bytes: self.log_bytes.saturating_add(other.log_bytes),
+            policy_checks: self.policy_checks.saturating_add(other.policy_checks),
+            denials: self.denials.saturating_add(other.denials),
+            compaction_bytes: self.compaction_bytes.saturating_add(other.compaction_bytes),
+            wal_records: self.wal_records.saturating_add(other.wal_records),
+        }
+    }
+
     /// Component-wise saturating difference `self - earlier`.
     pub fn diff(&self, earlier: &MeterSnapshot) -> MeterSnapshot {
         MeterSnapshot {
@@ -244,6 +271,23 @@ mod tests {
         assert_eq!(d.pages_read_disk, 4);
         assert_eq!(d.denials, 1);
         assert_eq!(d.pages_written, 0);
+    }
+
+    #[test]
+    fn meter_snapshot_merge_sums_counters() {
+        let a = Meter::new();
+        Meter::bump(&a.pages_read_disk, 3);
+        Meter::bump(&a.crypto_bytes, 100);
+        let b = Meter::new();
+        Meter::bump(&b.pages_read_disk, 4);
+        Meter::bump(&b.log_records, 7);
+        let m = a.snapshot().merge(&b.snapshot());
+        assert_eq!(m.pages_read_disk, 7);
+        assert_eq!(m.crypto_bytes, 100);
+        assert_eq!(m.log_records, 7);
+        assert_eq!(m.denials, 0);
+        // Merge is commutative: shard join order cannot change the total.
+        assert_eq!(m, b.snapshot().merge(&a.snapshot()));
     }
 
     #[test]

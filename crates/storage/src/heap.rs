@@ -38,6 +38,9 @@ pub struct HeapConfig {
     pub disk_passphrase: Option<Vec<u8>>,
     /// fsync the WAL at every statement commit.
     pub fsync_per_commit: bool,
+    /// Run the sector cipher on the retained reference AES path
+    /// (per-instance bench A/B; ciphertext bytes are unchanged).
+    pub reference_crypto: bool,
 }
 
 impl Default for HeapConfig {
@@ -46,6 +49,7 @@ impl Default for HeapConfig {
             buffer_pages: 256,
             disk_passphrase: None,
             fsync_per_commit: true,
+            reference_crypto: false,
         }
     }
 }
@@ -136,7 +140,8 @@ impl HeapDb {
             Some(pass) => Disk::encrypted(
                 clock.clone(),
                 meter.clone(),
-                SectorCipher::from_passphrase(pass, datacase_crypto::aes::KeySize::Aes256),
+                SectorCipher::from_passphrase(pass, datacase_crypto::aes::KeySize::Aes256)
+                    .with_reference_mode(config.reference_crypto),
             ),
             None => Disk::new(clock.clone(), meter.clone()),
         };

@@ -44,6 +44,9 @@ pub use datacase_workloads as workloads;
 pub mod prelude {
     pub use datacase_core::grounding::erasure::ErasureInterpretation;
     pub use datacase_core::regulation::Regulation;
+    pub use datacase_engine::concurrent::{
+        merged_chain_head, ConcurrentEngine, EngineHandle, SubmitStamp, Ticket,
+    };
     pub use datacase_engine::error::EngineError;
     pub use datacase_engine::frontend::{
         AuditRef, Batch, Frontend, Reply, Request, Response, Session,

@@ -43,6 +43,7 @@ const BENCHES: &[&str] = &[
     "fig4b_profiles",
     "fig4c_scalability",
     "micro_substrates",
+    "mt_throughput",
     "pipeline_throughput",
     "table1_erasure_actions",
     "table2_space_factor",

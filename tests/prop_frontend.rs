@@ -13,12 +13,87 @@
 //!   sequence number, timestamp, and payload must match, or the chain
 //!   heads diverge. Pipelining amortizes wall-clock time, never
 //!   semantics.
+//! * **Multi-session parity** — interleaved batches from ≥3 concurrent
+//!   sessions through the sharded [`ConcurrentEngine`] must replay
+//!   serially: the (shard, seq) stamps recorded by the concurrent run,
+//!   re-executed one submission at a time, reproduce every reply, the
+//!   forensic residual census, and the merged audit chain byte for byte.
+//!   This is the linearizability gate for the concurrent frontend.
 
 use proptest::prelude::*;
 
 use data_case::prelude::*;
 use data_case::storage::backend::BackendKind;
 use data_case::workloads::gdprbench::{GdprBench, Mix};
+
+/// Per-submission `(responses, stamps)` pairs in firing order.
+type StampedReplies = Vec<(Vec<Response>, Vec<SubmitStamp>)>;
+
+/// One multi-session run against the sharded concurrent engine: load
+/// through the handle, then fire `schedule`-ordered sub-batches from
+/// `sessions` interleaved sessions. With `overlap` every ticket is
+/// submitted before any is redeemed, so shard queues back up and workers
+/// fuse cross-session bursts through one staged pipeline; without it each
+/// ticket is awaited immediately — the serial witness with the identical
+/// per-shard arrival order. Returns the per-submission responses and
+/// stamps (in firing order), the engine-wide forensic residual count, and
+/// the merged audit chain head.
+fn concurrent_run(
+    backend: BackendKind,
+    seed: u64,
+    sessions: usize,
+    shards: usize,
+    schedule: &[usize],
+    overlap: bool,
+) -> (StampedReplies, usize, [u8; 32]) {
+    let config = EngineConfig::p_base()
+        .with_backend(backend)
+        .with_decision_cache(1024);
+    let engine = ConcurrentEngine::new(config, shards);
+    let handle = engine.handle();
+    let controller = Session::new(Actor::Controller);
+    let mut bench = GdprBench::new(seed, 60);
+    let load: Vec<Request> = bench.load_phase(50).iter().map(Request::from).collect();
+    handle.submit(&controller, &load).wait();
+    // Per-session request streams, pre-chunked into sub-batches. Actors
+    // rotate so enforcement sees genuinely different sessions.
+    let actors = [Actor::Subject, Actor::Processor, Actor::Controller];
+    let streams: Vec<(Session, Vec<Vec<Request>>)> = (0..sessions)
+        .map(|s| {
+            let chunks = bench
+                .ops(24, Mix::wcus())
+                .chunks(6)
+                .map(|c| c.iter().map(Request::from).collect())
+                .collect();
+            (Session::new(actors[s % actors.len()]), chunks)
+        })
+        .collect();
+    let mut cursors = vec![0usize; sessions];
+    let mut fired = Vec::new();
+    let mut tickets = Vec::new();
+    for &s in schedule {
+        let (session, chunks) = &streams[s];
+        let Some(batch) = chunks.get(cursors[s]) else {
+            continue;
+        };
+        cursors[s] += 1;
+        let ticket = handle.submit(session, batch);
+        if overlap {
+            tickets.push(ticket);
+        } else {
+            fired.push(ticket.wait());
+        }
+    }
+    fired.extend(tickets.into_iter().map(Ticket::wait));
+    drop(handle);
+    let mut frontends = engine.shutdown();
+    let head = merged_chain_head(&mut frontends);
+    let residuals = frontends
+        .iter_mut()
+        .map(|fe| fe.forensic().scan(b"person=").total())
+        .sum();
+    (fired, residuals, head)
+}
 
 /// One full run: load `records`, then execute `txns` WCus requests in
 /// submissions of `batch_size`, with the pipeline forced on or off and a
@@ -221,6 +296,44 @@ proptest! {
                 seq_residuals,
                 batch_residuals,
                 "{:?}: erase residuals diverged",
+                backend
+            );
+        }
+    }
+
+    /// Multi-session parity: ≥3 sessions firing interleaved sub-batches
+    /// into the sharded concurrent engine — tickets outstanding
+    /// simultaneously, shard workers fusing cross-session bursts — must be
+    /// indistinguishable from replaying the same per-shard arrival order
+    /// one submission at a time: same replies, same (shard, seq) stamps,
+    /// same forensic residuals, and a byte-identical merged audit chain.
+    /// On heap and LSM both.
+    #[test]
+    fn multi_session_interleavings_replay_serially(
+        seed in 0u64..10_000,
+        sessions in 3usize..6,
+        schedule in proptest::collection::vec(0usize..6, 10..24),
+    ) {
+        for backend in BackendKind::ALL {
+            let schedule: Vec<usize> = schedule.iter().map(|&s| s % sessions).collect();
+            let concurrent = concurrent_run(backend, seed, sessions, 3, &schedule, true);
+            let serial = concurrent_run(backend, seed, sessions, 3, &schedule, false);
+            prop_assert_eq!(
+                &concurrent.0,
+                &serial.0,
+                "{:?}: concurrent replies or stamps diverged from serial replay",
+                backend
+            );
+            prop_assert_eq!(
+                concurrent.1,
+                serial.1,
+                "{:?}: forensic residuals diverged",
+                backend
+            );
+            prop_assert_eq!(
+                concurrent.2,
+                serial.2,
+                "{:?}: merged audit chains are not byte-identical",
                 backend
             );
         }
