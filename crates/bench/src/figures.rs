@@ -775,7 +775,10 @@ pub const PIPELINE_REPS: usize = 3;
 /// Run one pipeline cell: P_Base (per-tuple AES-256 — exactly the payload
 /// work the apply stage fans out) over `backend`, running a YCSB mix as
 /// the processor, with the epoch-versioned decision cache on in **both**
-/// modes so the comparison isolates the pipeline itself. Returns the
+/// modes so the comparison isolates the pipeline itself. Records carry
+/// classic 1 KiB YCSB payloads (not the paper figures' compact 100-byte
+/// shape) so the cells measure the AES fan-out under a meaningful crypto
+/// load rather than per-op dispatch overhead. Returns the
 /// transaction-phase stats (the load phase is excluded from timing).
 pub fn pipeline_cell(
     backend: BackendKind,
@@ -791,7 +794,7 @@ pub fn pipeline_cell(
         .with_decision_cache(4096);
     config.heap.buffer_pages = buffer_pages_for(records);
     let mut fe = Frontend::new(config);
-    let mut y = Ycsb::new(seed, records);
+    let mut y = Ycsb::new(seed, records).with_payload_size(1024);
     let load = y.load_phase();
     run_ops_batched(&mut fe, &load, Actor::Controller, PIPELINE_BATCH);
     let ops = y.ops(txns as usize, workload);

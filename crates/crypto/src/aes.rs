@@ -527,6 +527,73 @@ impl Aes {
         ]
     }
 
+    /// Four [`encrypt_words`](Aes::encrypt_words) in software-SIMD
+    /// lockstep: each round loads its key once and advances four
+    /// independent states through the T-tables together, so the four
+    /// dependency chains overlap (the per-chain table-load latency hides
+    /// behind the other three) instead of serialising block after block.
+    /// CTR keystream generation is the caller: four counter blocks per
+    /// call, bit-identical to four scalar calls.
+    #[inline]
+    pub(crate) fn encrypt_words_x4(&self, mut s: [[u32; 4]; 4]) -> [[u32; 4]; 4] {
+        let te = &self.tt.te;
+        let sbox = self.sbox;
+        let nr = self.size.rounds();
+        let rk0 = self.ek[0];
+        for lane in s.iter_mut() {
+            for (w, rk) in lane.iter_mut().zip(rk0) {
+                *w ^= rk;
+            }
+        }
+        for r in 1..nr {
+            let rk = self.ek[r];
+            for lane in s.iter_mut() {
+                let v = *lane;
+                *lane = [
+                    te[0][(v[0] >> 24) as usize]
+                        ^ te[1][((v[1] >> 16) & 0xff) as usize]
+                        ^ te[2][((v[2] >> 8) & 0xff) as usize]
+                        ^ te[3][(v[3] & 0xff) as usize]
+                        ^ rk[0],
+                    te[0][(v[1] >> 24) as usize]
+                        ^ te[1][((v[2] >> 16) & 0xff) as usize]
+                        ^ te[2][((v[3] >> 8) & 0xff) as usize]
+                        ^ te[3][(v[0] & 0xff) as usize]
+                        ^ rk[1],
+                    te[0][(v[2] >> 24) as usize]
+                        ^ te[1][((v[3] >> 16) & 0xff) as usize]
+                        ^ te[2][((v[0] >> 8) & 0xff) as usize]
+                        ^ te[3][(v[1] & 0xff) as usize]
+                        ^ rk[2],
+                    te[0][(v[3] >> 24) as usize]
+                        ^ te[1][((v[0] >> 16) & 0xff) as usize]
+                        ^ te[2][((v[1] >> 8) & 0xff) as usize]
+                        ^ te[3][(v[2] & 0xff) as usize]
+                        ^ rk[3],
+                ];
+            }
+        }
+        let rk = self.ek[nr];
+        for lane in s.iter_mut() {
+            let v = *lane;
+            let sub = |i: usize, j1: usize, j2: usize, j3: usize| -> u32 {
+                u32::from_be_bytes([
+                    sbox[(v[i] >> 24) as usize],
+                    sbox[((v[j1] >> 16) & 0xff) as usize],
+                    sbox[((v[j2] >> 8) & 0xff) as usize],
+                    sbox[(v[j3] & 0xff) as usize],
+                ])
+            };
+            *lane = [
+                sub(0, 1, 2, 3) ^ rk[0],
+                sub(1, 2, 3, 0) ^ rk[1],
+                sub(2, 3, 0, 1) ^ rk[2],
+                sub(3, 0, 1, 2) ^ rk[3],
+            ];
+        }
+        s
+    }
+
     /// Encrypt one block with the retained byte-oriented FIPS-197 rounds —
     /// the reference path the crypto-equivalence gate pins
     /// [`encrypt_block`](Aes::encrypt_block) against, and the "before"

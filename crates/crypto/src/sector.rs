@@ -5,15 +5,23 @@
 //! from a passphrase via [`crate::kdf::luks_derive_key`]. The IV is bound to
 //! the sector number (ESSIV-flavoured: we hash the sector with the key).
 
+use std::sync::Arc;
+
 use crate::aes::KeySize;
 use crate::ctr::AesCtr;
 use crate::sha256::Sha256;
 
 /// Encrypts/decrypts fixed-size sectors with a sector-bound IV.
+///
+/// The expanded cipher is held behind an [`Arc`] so deferred sector work
+/// (pipeline offload) can carry a shared handle into worker threads, and
+/// the ESSIV hash is kept as a **midstate**: a [`Sha256`] already fed the
+/// key-bound salt at construction, cloned per sector instead of re-hashing
+/// the salt for every page.
 #[derive(Clone, Debug)]
 pub struct SectorCipher {
-    ctr: AesCtr,
-    iv_salt: [u8; 32],
+    ctr: Arc<AesCtr>,
+    iv_midstate: Sha256,
 }
 
 impl SectorCipher {
@@ -23,9 +31,12 @@ impl SectorCipher {
         let mut h = Sha256::new();
         h.update(&key);
         h.update(b"essiv");
+        let iv_salt = h.finalize();
+        let mut midstate = Sha256::new();
+        midstate.update(&iv_salt);
         SectorCipher {
-            ctr: AesCtr::from_key(size, &key),
-            iv_salt: h.finalize(),
+            ctr: Arc::new(AesCtr::from_key(size, &key)),
+            iv_midstate: midstate,
         }
     }
 
@@ -34,17 +45,37 @@ impl SectorCipher {
         self.ctr.key_size()
     }
 
+    /// A shared handle to the expanded CTR cipher — what deferred sector
+    /// jobs carry to pipeline workers (`Send + Sync`, schedule expanded
+    /// once at construction).
+    pub fn shared_ctr(&self) -> Arc<AesCtr> {
+        Arc::clone(&self.ctr)
+    }
+
     /// Route this cipher through the retained reference AES path (see
     /// [`AesCtr::with_reference_mode`]) — per-instance, for A/B bench
     /// engines that must not affect other engines in the process.
-    pub fn with_reference_mode(mut self, on: bool) -> SectorCipher {
-        self.ctr = self.ctr.with_reference_mode(on);
-        self
+    pub fn with_reference_mode(self, on: bool) -> SectorCipher {
+        SectorCipher {
+            ctr: Arc::new((*self.ctr).clone().with_reference_mode(on)),
+            iv_midstate: self.iv_midstate,
+        }
     }
 
-    fn sector_iv(&self, sector: u64) -> [u8; 16] {
-        let mut h = Sha256::new();
-        h.update(&self.iv_salt);
+    /// Whether this cipher runs the retained reference path. Layers that
+    /// cache derived keystream (the disk's sector-keystream cache) bypass
+    /// their caches in reference mode so the measured "before" series
+    /// keeps its honest byte-oriented cost.
+    pub fn reference_mode(&self) -> bool {
+        self.ctr.is_reference()
+    }
+
+    /// The ESSIV-flavoured IV binding `sector` to this cipher's key: the
+    /// key-bound hash midstate (salt absorbed once at construction) is
+    /// cloned and fed only the sector number. Public so deferred sector
+    /// jobs can be built outside the cipher.
+    pub fn sector_iv(&self, sector: u64) -> [u8; 16] {
+        let mut h = self.iv_midstate.clone();
         h.update(&sector.to_be_bytes());
         let d = h.finalize();
         // Keep the low 8 bytes as counter space (zeroed).
@@ -115,5 +146,39 @@ mod tests {
     fn key_size_reported() {
         let sc = SectorCipher::from_passphrase(b"p", KeySize::Aes128);
         assert_eq!(sc.key_size(), KeySize::Aes128);
+    }
+
+    #[test]
+    fn midstate_iv_matches_from_scratch_hash() {
+        // The cloned-midstate shortcut must produce exactly the IV the
+        // pre-midstate code computed: SHA-256(SHA-256(key ‖ "essiv") ‖
+        // sector), truncated to the 8-byte nonce half.
+        let sc = SectorCipher::from_passphrase(b"disk-pass", KeySize::Aes256);
+        let key = crate::kdf::luks_derive_key(b"disk-pass", KeySize::Aes256.key_len());
+        let mut salt_h = Sha256::new();
+        salt_h.update(&key);
+        salt_h.update(b"essiv");
+        let salt = salt_h.finalize();
+        for sector in [0u64, 1, 42, u64::MAX] {
+            let mut h = Sha256::new();
+            h.update(&salt);
+            h.update(&sector.to_be_bytes());
+            let d = h.finalize();
+            let mut expected = [0u8; 16];
+            expected[..8].copy_from_slice(&d[..8]);
+            assert_eq!(sc.sector_iv(sector), expected, "sector {sector}");
+        }
+    }
+
+    #[test]
+    fn shared_ctr_decrypts_what_apply_encrypted() {
+        let sc = SectorCipher::from_passphrase(b"disk-pass", KeySize::Aes256);
+        let original = vec![0x3Cu8; 4096];
+        let mut data = original.clone();
+        sc.apply(9, &mut data);
+        // A deferred job carries (shared_ctr, sector_iv) and must land on
+        // the same stream.
+        sc.shared_ctr().apply_blocks(sc.sector_iv(9), &mut data);
+        assert_eq!(data, original);
     }
 }

@@ -8,7 +8,7 @@
 //! transformation in Data-CASE terms. The engine's crypto-erasure ablation
 //! compares this against VACUUM FULL + drive sanitisation.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use crate::aes::KeySize;
@@ -36,6 +36,18 @@ impl std::fmt::Display for VaultError {
 }
 
 impl std::error::Error for VaultError {}
+
+/// One cached keystream segment: the CTR stream for a (unit, IV) pair
+/// from block 0, stamped with the key generation it was generated under.
+///
+/// Only *keystream* is cached — never plaintext, never ciphertext — so a
+/// cache entry on its own reveals nothing about the data it protected:
+/// the encryption-at-rest capsule stays sealed.
+#[derive(Debug)]
+struct KeystreamEntry {
+    generation: u64,
+    keystream: Vec<u8>,
+}
 
 /// State of a unit's key, kept for audit purposes after destruction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -75,6 +87,14 @@ pub struct KeyVault {
     /// Build schedules on the reference AES path (bench A/B only; see
     /// [`AesCtr::with_reference_mode`]).
     reference: bool,
+    /// Bounded keystream cache for repeated same-IV re-reads (zipfian
+    /// hot tuples). `0` capacity disables it. See
+    /// [`keystream_apply`](KeyVault::keystream_apply).
+    ks_cache: HashMap<(u64, [u8; 16]), KeystreamEntry>,
+    /// Insertion order of `ks_cache` keys — deterministic FIFO eviction.
+    ks_order: VecDeque<(u64, [u8; 16])>,
+    /// Maximum number of cached keystream segments.
+    ks_capacity: usize,
 }
 
 impl KeyVault {
@@ -88,7 +108,18 @@ impl KeyVault {
             states: HashMap::new(),
             generations: HashMap::new(),
             reference: false,
+            ks_cache: HashMap::new(),
+            ks_order: VecDeque::new(),
+            ks_capacity: 0,
         }
+    }
+
+    /// Enable the keystream cache with room for `capacity` (unit, IV)
+    /// segments (`0` disables it — the default, so measured crypto costs
+    /// stay paper-faithful unless a configuration opts in).
+    pub fn with_keystream_cache(mut self, capacity: usize) -> KeyVault {
+        self.ks_capacity = capacity;
+        self
     }
 
     /// Expand all future schedules on the retained reference AES path —
@@ -156,6 +187,91 @@ impl KeyVault {
         }
     }
 
+    /// Apply the unit's CTR stream for `iv` to `data` via the keystream
+    /// cache: a hit XORs the cached stream (no AES at all), a miss (or a
+    /// too-short entry) generates the uncovered blocks through the
+    /// unit's cipher and caches them for the next same-IV operation —
+    /// exactly the hot-tuple re-read pattern of zipfian workloads, where
+    /// the IV is bound to the unit and never changes.
+    ///
+    /// Returns `Ok(true)` if the cache served (fully or after extension),
+    /// `Ok(false)` if caching is disabled (caller takes the ordinary
+    /// [`cipher`](KeyVault::cipher) path), and `Err` if the unit's key is
+    /// destroyed or was never created. Output bytes are identical to
+    /// `cipher(unit)?.apply(iv, data)` in every case.
+    ///
+    /// Entries are stamped with the unit's key generation: a destroyed
+    /// key's stream can never be served for a recreated key, even though
+    /// [`destroy_key`](KeyVault::destroy_key) also drops the entries
+    /// eagerly (the stamp is defence in depth).
+    pub fn keystream_apply(
+        &mut self,
+        unit: u64,
+        iv: [u8; 16],
+        data: &mut [u8],
+    ) -> Result<bool, VaultError> {
+        if self.ks_capacity == 0 {
+            return Ok(false);
+        }
+        let cipher = match self.schedules.get(&unit) {
+            Some(c) => Arc::clone(c),
+            None => return Err(VaultError::KeyUnavailable(unit)),
+        };
+        let generation = self.generations.get(&unit).copied().unwrap_or(0);
+        let needed = data.len().next_multiple_of(16);
+        let key = (unit, iv);
+        let stale = self
+            .ks_cache
+            .get(&key)
+            .is_some_and(|e| e.generation != generation);
+        if stale {
+            self.ks_cache.remove(&key);
+            self.ks_order.retain(|k| *k != key);
+        }
+        let entry = match self.ks_cache.get_mut(&key) {
+            Some(e) => e,
+            None => {
+                if self.ks_cache.len() >= self.ks_capacity {
+                    if let Some(oldest) = self.ks_order.pop_front() {
+                        self.ks_cache.remove(&oldest);
+                    }
+                }
+                self.ks_order.push_back(key);
+                self.ks_cache.entry(key).or_insert(KeystreamEntry {
+                    generation,
+                    keystream: Vec::new(),
+                })
+            }
+        };
+        if entry.keystream.len() < needed {
+            // Keystream is the encryption of zeros: extend the cached
+            // prefix by running the cipher from the first uncovered block.
+            let covered_blocks = (entry.keystream.len() / 16) as u64;
+            let mut suffix = vec![0u8; needed - entry.keystream.len()];
+            cipher.apply_at(iv, covered_blocks, &mut suffix);
+            entry.keystream.extend_from_slice(&suffix);
+        }
+        for (d, k) in data.iter_mut().zip(entry.keystream.iter()) {
+            *d ^= k;
+        }
+        Ok(true)
+    }
+
+    /// Drop every cached keystream segment for `unit` without touching
+    /// its key — the cache-invalidation half of
+    /// [`destroy_key`](KeyVault::destroy_key), exposed for purge paths
+    /// that scrub a unit's physical traces while the key stays live.
+    pub fn purge_unit(&mut self, unit: u64) {
+        self.ks_cache.retain(|(u, _), _| *u != unit);
+        self.ks_order.retain(|(u, _)| *u != unit);
+    }
+
+    /// Cached keystream segments currently held (tests and space
+    /// accounting).
+    pub fn cached_keystreams(&self) -> usize {
+        self.ks_cache.len()
+    }
+
     /// Destroy the key for `unit` — the crypto-erasure system-action.
     ///
     /// Returns true if a live key existed. After this call, ciphertexts of
@@ -167,6 +283,9 @@ impl KeyVault {
     pub fn destroy_key(&mut self, unit: u64) -> bool {
         let existed = self.keys.remove(&unit).is_some();
         self.schedules.remove(&unit);
+        // Cached keystream goes with the key: XORing it with ciphertext
+        // would reveal plaintext, so erasure must not leave it behind.
+        self.purge_unit(unit);
         if existed {
             self.states.insert(unit, KeyState::Destroyed);
             *self.generations.entry(unit).or_insert(0) += 1;
@@ -305,6 +424,111 @@ mod tests {
         old.apply(AesCtr::iv_from_nonce(9), &mut a);
         new.apply(AesCtr::iv_from_nonce(9), &mut b);
         assert_ne!(a, b, "destroyed-generation keystream must not return");
+    }
+
+    #[test]
+    fn keystream_cache_matches_direct_cipher_and_extends() {
+        let mut v = KeyVault::new(b"master", KeySize::Aes128).with_keystream_cache(8);
+        v.ensure_key(4);
+        let iv = AesCtr::iv_from_nonce(4);
+        let plain: Vec<u8> = (0..100).map(|i| i as u8).collect();
+        // Cold: generates + caches. Warm: served from cache. Longer than
+        // cached: extends the segment. All byte-identical to the cipher.
+        for len in [40usize, 40, 100, 7] {
+            let mut via_cache = plain[..len].to_vec();
+            assert_eq!(v.keystream_apply(4, iv, &mut via_cache), Ok(true));
+            let mut direct = plain[..len].to_vec();
+            v.cipher(4).unwrap().apply(iv, &mut direct);
+            assert_eq!(via_cache, direct, "len {len}");
+        }
+        assert_eq!(v.cached_keystreams(), 1, "one (unit, iv) segment");
+    }
+
+    #[test]
+    fn keystream_cache_disabled_returns_false() {
+        let mut v = KeyVault::new(b"master", KeySize::Aes128);
+        v.ensure_key(1);
+        let mut data = vec![0xAB; 32];
+        assert_eq!(
+            v.keystream_apply(1, AesCtr::iv_from_nonce(1), &mut data),
+            Ok(false)
+        );
+        assert_eq!(data, vec![0xAB; 32], "disabled cache must not touch data");
+    }
+
+    #[test]
+    fn destroy_key_purges_cached_keystream() {
+        let mut v = KeyVault::new(b"master", KeySize::Aes256).with_keystream_cache(8);
+        v.ensure_key(6);
+        let iv = AesCtr::iv_from_nonce(6);
+        let mut data = vec![0u8; 64];
+        v.keystream_apply(6, iv, &mut data).unwrap();
+        assert_eq!(v.cached_keystreams(), 1);
+        v.destroy_key(6);
+        assert_eq!(
+            v.cached_keystreams(),
+            0,
+            "keystream must not outlive the key"
+        );
+        let mut again = vec![0u8; 64];
+        assert_eq!(
+            v.keystream_apply(6, iv, &mut again),
+            Err(VaultError::KeyUnavailable(6)),
+            "no stale keystream after crypto-erasure"
+        );
+    }
+
+    #[test]
+    fn purge_unit_invalidates_cache_but_keeps_key() {
+        let mut v = KeyVault::new(b"master", KeySize::Aes128).with_keystream_cache(8);
+        v.ensure_key(2);
+        let iv = AesCtr::iv_from_nonce(2);
+        let mut data = vec![0u8; 32];
+        v.keystream_apply(2, iv, &mut data).unwrap();
+        v.purge_unit(2);
+        assert_eq!(v.cached_keystreams(), 0);
+        // Key still live: the next apply regenerates and still matches.
+        let mut a = b"regenerated-after-purge!".to_vec();
+        let mut b = a.clone();
+        assert_eq!(v.keystream_apply(2, iv, &mut a), Ok(true));
+        v.cipher(2).unwrap().apply(iv, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn recreated_key_never_sees_the_old_generations_stream() {
+        let mut v = KeyVault::new(b"master", KeySize::Aes128).with_keystream_cache(8);
+        v.ensure_key(9);
+        let iv = AesCtr::iv_from_nonce(9);
+        let mut old_stream = vec![0u8; 32];
+        v.keystream_apply(9, iv, &mut old_stream).unwrap();
+        v.destroy_key(9);
+        v.ensure_key(9);
+        let mut new_stream = vec![0u8; 32];
+        v.keystream_apply(9, iv, &mut new_stream).unwrap();
+        assert_ne!(old_stream, new_stream, "generations must not alias");
+        let mut direct = vec![0u8; 32];
+        v.cipher(9).unwrap().apply(iv, &mut direct);
+        assert_eq!(new_stream, direct);
+    }
+
+    #[test]
+    fn keystream_cache_capacity_is_bounded_fifo() {
+        let mut v = KeyVault::new(b"master", KeySize::Aes128).with_keystream_cache(2);
+        for unit in 1..=3u64 {
+            v.ensure_key(unit);
+            let mut data = vec![0u8; 16];
+            v.keystream_apply(unit, AesCtr::iv_from_nonce(unit), &mut data)
+                .unwrap();
+        }
+        assert_eq!(v.cached_keystreams(), 2, "oldest segment evicted");
+        // The evicted (oldest) entry regenerates correctly on re-probe.
+        let mut a = vec![0x11; 48];
+        let mut b = a.clone();
+        v.keystream_apply(1, AesCtr::iv_from_nonce(1), &mut a)
+            .unwrap();
+        v.cipher(1).unwrap().apply(AesCtr::iv_from_nonce(1), &mut b);
+        assert_eq!(a, b);
     }
 
     #[test]

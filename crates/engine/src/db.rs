@@ -182,6 +182,7 @@ impl CompliantDb {
         let vault = config.tuple_encryption.map(|size| {
             KeyVault::new(b"engine-master-secret", size)
                 .with_reference_mode(config.reference_crypto)
+                .with_keystream_cache(config.keystream_cache)
         });
 
         // The only place a concrete substrate type appears: construction.
@@ -424,6 +425,7 @@ impl CompliantDb {
             "flush before leaving"
         );
         self.deferred = deferred;
+        self.backend.set_deferred_sector_crypto(deferred);
     }
 
     /// Patch a deferred record's payload (decrypted by the apply stage).
@@ -634,13 +636,19 @@ impl CompliantDb {
         match &mut self.vault {
             Some(vault) => {
                 vault.ensure_key(unit.0);
-                let cipher = vault.cipher(unit.0).expect("just ensured");
-                let bits = cipher.key_size().bits();
+                let bits = vault.key_size().bits();
+                // Charged as a full AES pass regardless of how the
+                // keystream is produced: the cache changes host work,
+                // never the simulated cost.
                 self.clock
                     .charge(self.clock.model().aes_cost(bits, payload.len()));
                 Meter::bump(&self.meter.crypto_bytes, payload.len() as u64);
                 let mut buf = payload.to_vec();
-                cipher.apply(AesCtr::iv_from_nonce(unit.0), &mut buf);
+                let iv = AesCtr::iv_from_nonce(unit.0);
+                if !matches!(vault.keystream_apply(unit.0, iv, &mut buf), Ok(true)) {
+                    let cipher = vault.cipher(unit.0).expect("just ensured");
+                    cipher.apply(iv, &mut buf);
+                }
                 buf
             }
             None => payload.to_vec(),
@@ -648,7 +656,7 @@ impl CompliantDb {
     }
 
     fn decrypt_payload(&mut self, unit: UnitId, stored: Vec<u8>) -> Vec<u8> {
-        match &self.vault {
+        match &mut self.vault {
             Some(vault) => match vault.cipher(unit.0) {
                 Ok(cipher) => {
                     let bits = cipher.key_size().bits();
@@ -656,7 +664,10 @@ impl CompliantDb {
                         .charge(self.clock.model().aes_cost(bits, stored.len()));
                     Meter::bump(&self.meter.crypto_bytes, stored.len() as u64);
                     let mut buf = stored;
-                    cipher.apply(AesCtr::iv_from_nonce(unit.0), &mut buf);
+                    let iv = AesCtr::iv_from_nonce(unit.0);
+                    if !matches!(vault.keystream_apply(unit.0, iv, &mut buf), Ok(true)) {
+                        cipher.apply(iv, &mut buf);
+                    }
                     buf
                 }
                 Err(_) => Vec::new(), // crypto-erased: unreadable
@@ -911,7 +922,7 @@ impl CompliantDb {
         // Decrypt accounting now, AES work deferred.
         let mut payload = Vec::new();
         let mut job = None;
-        let plain_len = match &self.vault {
+        let plain_len = match &mut self.vault {
             Some(vault) => match vault.cipher(meta.unit.0) {
                 Ok(cipher) => {
                     let bits = cipher.key_size().bits();
@@ -919,13 +930,22 @@ impl CompliantDb {
                         .charge(self.clock.model().aes_cost(bits, stored.len()));
                     Meter::bump(&self.meter.crypto_bytes, stored.len() as u64);
                     let len = stored.len();
-                    job = Some(CipherJob {
-                        slot: 0, // assigned when the record is queued
-                        shard: meta.unit.0,
-                        iv: AesCtr::iv_from_nonce(meta.unit.0),
-                        cipher,
-                        data: stored,
-                    });
+                    let iv = AesCtr::iv_from_nonce(meta.unit.0);
+                    let mut data = stored;
+                    if matches!(vault.keystream_apply(meta.unit.0, iv, &mut data), Ok(true)) {
+                        // Hot-tuple cache hit: the decrypt collapsed to a
+                        // XOR, so there is no AES left worth deferring —
+                        // the record carries its payload immediately.
+                        payload = data;
+                    } else {
+                        job = Some(CipherJob {
+                            slot: 0, // assigned when the record is queued
+                            shard: meta.unit.0,
+                            iv,
+                            cipher,
+                            data,
+                        });
+                    }
                     len
                 }
                 Err(_) => 0, // crypto-erased: unreadable

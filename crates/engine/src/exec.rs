@@ -472,6 +472,39 @@ fn flush_span(db: &mut CompliantDb, jobs: &mut Vec<CipherJob>) {
         db.fill_deferred(job.slot, job.data);
     }
     db.commit_deferred();
+    flush_sector_crypto(db);
+}
+
+/// Drain the backend's deferred sector encryption (pages that crossed
+/// the buffer-pool/disk boundary during the span on a sector-encrypted
+/// substrate — P_GBench's LUKS shim) onto the same cipher workers. The
+/// sectors' simulated charges landed at write time; this is the pure
+/// host AES, the last serial crypto of the P_GBench hot path.
+///
+/// Runs as its own `run_jobs` call with `dedup: false`: sector jobs are
+/// distinct by construction (one per sector), and the dedup bucket key
+/// does not include which cipher a job carries, so they must never share
+/// a dedup pass with tuple jobs.
+fn flush_sector_crypto(db: &mut CompliantDb) {
+    let pending = db.backend_mut().take_pending_sector_crypto();
+    if pending.is_empty() {
+        return;
+    }
+    let mut jobs: Vec<CipherJob> = pending
+        .into_iter()
+        .map(|p| CipherJob {
+            slot: p.sector as usize,
+            shard: p.sector as u64,
+            cipher: p.cipher,
+            iv: p.iv,
+            data: p.data,
+        })
+        .collect();
+    run_jobs(&mut jobs, db.pool(), db.fanout_bytes(), false);
+    for job in jobs {
+        db.backend_mut()
+            .store_sector_ciphertext(job.slot as u32, job.data);
+    }
 }
 
 // ---------------------------------------------------------------------

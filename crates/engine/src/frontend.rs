@@ -666,6 +666,16 @@ impl Forensic<'_> {
         }
     }
 
+    /// How many keystream entries the tuple vault currently caches —
+    /// `0` when tuple encryption or the keystream cache is off. Lets the
+    /// erasure harnesses assert the cache actually warmed before an
+    /// erasure, and actually emptied after one.
+    pub fn cached_keystreams(&mut self) -> usize {
+        self.db
+            .vault_mut()
+            .map_or(0, |vault| vault.cached_keystreams())
+    }
+
     /// Verify the audit log's tamper-evident chain.
     pub fn verify_chain(&mut self) -> bool {
         self.db.logger_mut().verify_chain()

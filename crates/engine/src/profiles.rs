@@ -142,6 +142,19 @@ pub struct EngineConfig {
     /// cannot reroute concurrent engines (or shards) in the same process.
     /// Ciphertext is byte-identical either way; only wall-clock changes.
     pub reference_crypto: bool,
+    /// Capacity (entries) of the [`KeyVault`] keystream cache; `0`
+    /// disables it. A hit serves a hot tuple's CTR keystream from memory
+    /// and collapses the host-side decrypt to a XOR — simulated AES cost
+    /// and meter bytes are charged identically either way, so every
+    /// reported figure is bit-identical with the cache on or off. The
+    /// cache holds keystream, never plaintext, and entries are stamped
+    /// with the key generation: [`KeyVault::destroy_key`] (crypto-erasure)
+    /// drops them with the key. Off by default on every paper profile;
+    /// opt in with [`EngineConfig::with_keystream_cache`].
+    ///
+    /// [`KeyVault`]: datacase_crypto::vault::KeyVault
+    /// [`KeyVault::destroy_key`]: datacase_crypto::vault::KeyVault::destroy_key
+    pub keystream_cache: usize,
 }
 
 /// Default [`EngineConfig::pipeline_fanout_bytes`]: ~200 µs of AES at
@@ -171,6 +184,7 @@ impl EngineConfig {
             pipeline_workers: 0,
             pipeline_fanout_bytes: DEFAULT_FANOUT_BYTES,
             reference_crypto: false,
+            keystream_cache: 0,
         }
     }
 
@@ -194,6 +208,7 @@ impl EngineConfig {
             pipeline_workers: 0,
             pipeline_fanout_bytes: DEFAULT_FANOUT_BYTES,
             reference_crypto: false,
+            keystream_cache: 0,
         }
     }
 
@@ -220,6 +235,7 @@ impl EngineConfig {
             pipeline_workers: 0,
             pipeline_fanout_bytes: DEFAULT_FANOUT_BYTES,
             reference_crypto: false,
+            keystream_cache: 0,
         }
     }
 
@@ -243,6 +259,7 @@ impl EngineConfig {
             pipeline_workers: 0,
             pipeline_fanout_bytes: DEFAULT_FANOUT_BYTES,
             reference_crypto: false,
+            keystream_cache: 0,
         }
     }
 
@@ -266,6 +283,14 @@ impl EngineConfig {
     /// `capacity` entries (`0` disables caching).
     pub fn with_decision_cache(mut self, capacity: usize) -> EngineConfig {
         self.decision_cache = capacity;
+        self
+    }
+
+    /// The same configuration with a generation-stamped keystream cache
+    /// of `capacity` entries (`0` disables caching). See
+    /// [`EngineConfig::keystream_cache`] for the invariants.
+    pub fn with_keystream_cache(mut self, capacity: usize) -> EngineConfig {
+        self.keystream_cache = capacity;
         self
     }
 

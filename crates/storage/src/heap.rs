@@ -41,6 +41,15 @@ pub struct HeapConfig {
     /// Run the sector cipher on the retained reference AES path
     /// (per-instance bench A/B; ciphertext bytes are unchanged).
     pub reference_crypto: bool,
+    /// Capacity (pages) of the disk's sector-keystream cache; `0`
+    /// disables it. A sector's CTR keystream is a pure function of the
+    /// disk key and the sector number, so cached streams never go stale
+    /// and hold no sector content — hot pages cross the cipher as a XOR
+    /// while ciphertext bytes, remanence ghosts, and all simulated
+    /// charges stay bit-identical. Ignored (bypassed) when
+    /// [`reference_crypto`](HeapConfig::reference_crypto) is on, so A/B
+    /// baselines keep their honest cost.
+    pub sector_keystream_pages: usize,
 }
 
 impl Default for HeapConfig {
@@ -50,6 +59,7 @@ impl Default for HeapConfig {
             disk_passphrase: None,
             fsync_per_commit: true,
             reference_crypto: false,
+            sector_keystream_pages: 4096,
         }
     }
 }
@@ -142,7 +152,8 @@ impl HeapDb {
                 meter.clone(),
                 SectorCipher::from_passphrase(pass, datacase_crypto::aes::KeySize::Aes256)
                     .with_reference_mode(config.reference_crypto),
-            ),
+            )
+            .with_keystream_cache(config.sector_keystream_pages),
             None => Disk::new(clock.clone(), meter.clone()),
         };
         HeapDb {
@@ -604,6 +615,11 @@ impl HeapDb {
     /// The underlying disk (forensics).
     pub fn disk(&self) -> &Disk {
         &self.disk
+    }
+
+    /// Mutable access to the underlying disk (deferred sector crypto).
+    pub fn disk_mut(&mut self) -> &mut Disk {
+        &mut self.disk
     }
 
     /// The WAL (forensics, recovery).
