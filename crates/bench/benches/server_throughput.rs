@@ -1,0 +1,28 @@
+//! Criterion bench for the served engine: 1, 2, and 4 closed-loop wire
+//! clients driving a 2-tenant gateway over loopback TCP on read-heavy
+//! YCSB-B. Every cell drains the identical per-tenant request streams —
+//! what this bench measures is the wall-clock cost of the wire layer
+//! (framing, namespacing, socket round trips) and how it amortises as
+//! client concurrency grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datacase_bench::figures::server_cell;
+use datacase_storage::backend::BackendKind;
+
+fn bench_server_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_throughput");
+    group.sample_size(10);
+    for clients in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("heap/ycsb-b/2-tenants/{clients}-clients")),
+            &clients,
+            |b, &clients| {
+                b.iter(|| server_cell(BackendKind::Heap, clients, 2, 2_000, 2_000, 4242));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_server_throughput);
+criterion_main!(benches);

@@ -2,15 +2,16 @@
 //!
 //! Usage:
 //! ```text
-//! repro [--quick] [fig1|fig3|fig4a|fig4b|fig4c|table1|table2|backends|pipeline|crypto|mt|invariants|ablations|checks|all]
+//! repro [--quick] [fig1|fig3|fig4a|fig4b|fig4c|table1|table2|backends|pipeline|crypto|mt|server|invariants|ablations|checks|all]
 //! ```
 //!
 //! `pipeline` additionally writes the measured cells to
 //! `BENCH_pipeline.json`, `crypto` writes the crypto-substrate
 //! before/after throughput plus encrypted-profile wall times to
-//! `BENCH_crypto.json`, and `mt` writes the concurrent-engine
-//! multi-session scaling cells to `BENCH_mt.json` (the repo's wall-clock
-//! perf trajectory).
+//! `BENCH_crypto.json`, `mt` writes the concurrent-engine
+//! multi-session scaling cells to `BENCH_mt.json`, and `server` writes
+//! the served-engine clients × tenants × backend wire-throughput cells
+//! to `BENCH_server.json` (the repo's wall-clock perf trajectory).
 //!
 //! `--quick` divides record/transaction counts by 10 (useful for smoke
 //! runs); the default is paper-faithful sizes (100k records, 10k txns,
@@ -92,6 +93,15 @@ fn main() {
         match std::fs::write("BENCH_mt.json", &json) {
             Ok(()) => println!("wrote BENCH_mt.json ({} cells)\n", points.len()),
             Err(e) => println!("could not write BENCH_mt.json: {e}\n"),
+        }
+    }
+    if want("server") {
+        let (table, points) = figures::server_matrix(scale);
+        println!("{}", table.render_text());
+        let json = figures::server_json(&points, scale);
+        match std::fs::write("BENCH_server.json", &json) {
+            Ok(()) => println!("wrote BENCH_server.json ({} cells)\n", points.len()),
+            Err(e) => println!("could not write BENCH_server.json: {e}\n"),
         }
     }
     if want("invariants") {

@@ -1453,6 +1453,251 @@ pub fn mt_json(points: &[MtPoint], scale: Scale) -> String {
     out
 }
 
+// ---------------------------------------------------------------------
+// Served-engine throughput over the wire (BENCH_server.json)
+// ---------------------------------------------------------------------
+
+/// Engine shards behind the gateway in every server cell.
+pub const SERVER_SHARDS: usize = 4;
+/// Requests per wire batch.
+pub const SERVER_BATCH: usize = 128;
+/// Record payload bytes (classic YCSB 1 KiB rows).
+pub const SERVER_PAYLOAD: usize = 1024;
+/// Wall-clock reps per cell (best-of).
+pub const SERVER_REPS: usize = 2;
+
+/// One measured served-engine cell: `clients` closed-loop TCP clients
+/// driving `tenants` tenants of one gateway over loopback sockets.
+#[derive(Clone, Debug)]
+pub struct ServerPoint {
+    /// Storage backend on every engine shard.
+    pub backend: BackendKind,
+    /// Concurrent closed-loop wire clients.
+    pub clients: usize,
+    /// Tenants sharing the engine (work split evenly between them).
+    pub tenants: usize,
+    /// Transaction-phase requests executed.
+    pub ops: usize,
+    /// Best-of-reps transaction-phase wall milliseconds.
+    pub wall_ms: f64,
+    /// Mean per-batch round-trip latency (milliseconds) across clients.
+    pub mean_batch_ms: f64,
+    /// 95th-percentile per-batch round-trip latency (milliseconds).
+    pub p95_batch_ms: f64,
+}
+
+impl ServerPoint {
+    /// Aggregate wall-clock throughput in kops/s.
+    pub fn kops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.wall_ms
+    }
+}
+
+/// Run one served-engine cell: spawn a gateway over a
+/// [`SERVER_SHARDS`]-way engine, load each tenant's records through its
+/// own authenticated connection, then let `clients` closed-loop wire
+/// clients drain a read-heavy YCSB-B stream split evenly across the
+/// tenants (one in-flight batch per client, tenant-local keys on the
+/// wire, every frame a real loopback round trip).
+///
+/// Tenant work units are interleaved round-robin across clients, so
+/// every (clients, tenants) combination — including one client serving
+/// two tenants over two connections — drains the identical per-tenant
+/// request streams and only wall time responds to the concurrency.
+pub fn server_cell(
+    backend: BackendKind,
+    clients: usize,
+    tenants: usize,
+    records: u64,
+    txns: u64,
+    seed: u64,
+) -> ServerPoint {
+    use datacase_server::{Client, Server, TenantSpec};
+
+    let per_tenant_records = (records / tenants as u64).max(1);
+    let per_tenant_txns = (txns / tenants as u64).max(1);
+    let mut config = EngineConfig::p_base()
+        .with_backend(backend)
+        .with_pipeline(false)
+        .with_decision_cache(4096);
+    config.heap.buffer_pages = buffer_pages_for(per_tenant_records / SERVER_SHARDS as u64);
+    let specs: Vec<TenantSpec> = (0..tenants)
+        .map(|t| TenantSpec::new(&format!("t{t}"), "bench-token"))
+        .collect();
+    let server = Server::spawn(config, SERVER_SHARDS, &specs);
+
+    // Load and transaction streams, one per tenant (tenant-local keys).
+    let mut streams: Vec<Vec<Request>> = Vec::new();
+    for t in 0..tenants {
+        let mut y =
+            Ycsb::new(seed + t as u64, per_tenant_records).with_payload_size(SERVER_PAYLOAD);
+        let load: Vec<Request> = y.load_phase().iter().map(Request::from).collect();
+        let mut loader = Client::connect(
+            server.addr(),
+            &format!("t{t}"),
+            "bench-token",
+            Actor::Controller,
+        )
+        .expect("loader connects");
+        for chunk in load.chunks(SERVER_BATCH) {
+            loader.call(chunk).expect("load batch");
+        }
+        loader.goodbye().ok();
+        streams.push(
+            y.ops(per_tenant_txns as usize, YcsbWorkload::B)
+                .iter()
+                .map(Request::from)
+                .collect(),
+        );
+    }
+
+    // Interleave per-tenant batches into a single work-unit list, then
+    // deal units round-robin to clients.
+    let chunked: Vec<Vec<&[Request]>> = streams
+        .iter()
+        .map(|s| s.chunks(SERVER_BATCH).collect())
+        .collect();
+    let max_chunks = chunked.iter().map(Vec::len).max().unwrap_or(0);
+    let mut units: Vec<(usize, &[Request])> = Vec::new();
+    for i in 0..max_chunks {
+        for (t, chunks) in chunked.iter().enumerate() {
+            if let Some(chunk) = chunks.get(i) {
+                units.push((t, chunk));
+            }
+        }
+    }
+    let total_ops: usize = units.iter().map(|(_, c)| c.len()).sum();
+
+    let wall_start = Instant::now();
+    let mut latencies: Vec<f64> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for client in 0..clients {
+            let addr = server.addr();
+            let units = &units;
+            handles.push(scope.spawn(move || {
+                let mut conns: Vec<Option<Client>> = (0..tenants).map(|_| None).collect();
+                let mut lats = Vec::new();
+                for (tenant, chunk) in units.iter().skip(client).step_by(clients) {
+                    let conn = conns[*tenant].get_or_insert_with(|| {
+                        Client::connect(
+                            addr,
+                            &format!("t{tenant}"),
+                            "bench-token",
+                            Actor::Processor,
+                        )
+                        .expect("client connects")
+                    });
+                    let t0 = Instant::now();
+                    conn.call(chunk).expect("transaction batch");
+                    lats.push(t0.elapsed().as_secs_f64() * 1e3);
+                }
+                for conn in conns.into_iter().flatten() {
+                    conn.goodbye().ok();
+                }
+                lats
+            }));
+        }
+        for handle in handles {
+            latencies.extend(handle.join().expect("client thread"));
+        }
+    });
+    let wall_ms = wall_start.elapsed().as_secs_f64() * 1e3;
+    server.shutdown();
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let mean_batch_ms = latencies.iter().sum::<f64>() / latencies.len().max(1) as f64;
+    let p95_batch_ms = latencies
+        .get((latencies.len().saturating_sub(1)) * 95 / 100)
+        .copied()
+        .unwrap_or(0.0);
+    ServerPoint {
+        backend,
+        clients,
+        tenants,
+        ops: total_ops,
+        wall_ms,
+        mean_batch_ms,
+        p95_batch_ms,
+    }
+}
+
+/// The served-engine matrix: 1/2/4 clients × 1/2 tenants × heap/LSM
+/// backends, best of [`SERVER_REPS`] wall-clock reps per cell.
+pub fn server_matrix(scale: Scale) -> (Table, Vec<ServerPoint>) {
+    let records = scale.div(20_000);
+    let txns = scale.div(20_000);
+    let seed = 11;
+    let mut points: Vec<ServerPoint> = Vec::new();
+    for backend in [BackendKind::Heap, BackendKind::Lsm] {
+        for tenants in [1usize, 2] {
+            for clients in [1usize, 2, 4] {
+                let mut best: Option<ServerPoint> = None;
+                for _ in 0..SERVER_REPS {
+                    let p = server_cell(backend, clients, tenants, records, txns, seed);
+                    if best.as_ref().is_none_or(|b| p.wall_ms < b.wall_ms) {
+                        best = Some(p);
+                    }
+                }
+                points.push(best.expect("at least one rep"));
+            }
+        }
+    }
+    let mut table = Table::new(
+        format!(
+            "Served engine over loopback TCP — {SERVER_SHARDS} shards, YCSB-B, records={records}, txns={txns}, batch={SERVER_BATCH}, {SERVER_PAYLOAD} B records"
+        ),
+        &[
+            "backend",
+            "tenants",
+            "clients",
+            "wall (ms)",
+            "kops/s",
+            "mean batch (ms)",
+            "p95 batch (ms)",
+        ],
+    );
+    for p in &points {
+        table.row(vec![
+            p.backend.label().into(),
+            p.tenants.to_string(),
+            p.clients.to_string(),
+            f3(p.wall_ms),
+            f3(p.kops_per_sec()),
+            f3(p.mean_batch_ms),
+            f3(p.p95_batch_ms),
+        ]);
+    }
+    (table, points)
+}
+
+/// Render the server points as the `BENCH_server.json` document: one
+/// object per (backend, tenants, clients) cell with wall time, aggregate
+/// throughput, and per-batch round-trip latency.
+pub fn server_json(points: &[ServerPoint], scale: Scale) -> String {
+    let mut out = String::from("{\n  \"bench\": \"server_throughput\",\n");
+    out.push_str(&format!(
+        "  \"scale_divisor\": {},\n  \"shards\": {SERVER_SHARDS},\n  \"batch\": {SERVER_BATCH},\n  \"reps\": {SERVER_REPS},\n  \"cells\": [\n",
+        scale.0
+    ));
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"tenants\": {}, \"clients\": {}, \"ops\": {}, \"wall_ms\": {:.3}, \"kops_per_sec\": {:.3}, \"mean_batch_ms\": {:.3}, \"p95_batch_ms\": {:.3}}}{}\n",
+            p.backend.label(),
+            p.tenants,
+            p.clients,
+            p.ops,
+            p.wall_ms,
+            p.kops_per_sec(),
+            p.mean_batch_ms,
+            p.p95_batch_ms,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Shape assertions shared by tests and the repro binary: returns a list
 /// of (check, passed) pairs so violations are visible in reports.
 pub fn shape_checks(scale: Scale) -> Vec<(String, bool)> {

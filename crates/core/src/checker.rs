@@ -91,6 +91,7 @@ pub struct ComplianceChecker {
     regulation: Regulation,
     invariants: Vec<Box<dyn Invariant>>,
     evidence: EvidenceFlags,
+    tenants: Option<crate::tenant::TenantDirectory>,
 }
 
 impl ComplianceChecker {
@@ -104,12 +105,21 @@ impl ComplianceChecker {
             regulation,
             invariants,
             evidence: EvidenceFlags::default(),
+            tenants: None,
         }
     }
 
     /// Supply external evidence (audit integrity, encryption defaults).
     pub fn with_evidence(mut self, evidence: EvidenceFlags) -> ComplianceChecker {
         self.evidence = evidence;
+        self
+    }
+
+    /// Supply the entity → tenant directory of a served multi-tenant
+    /// deployment, arming the tenant-isolation invariant (X). Without it
+    /// — or with an empty directory — X holds vacuously.
+    pub fn with_tenants(mut self, tenants: crate::tenant::TenantDirectory) -> ComplianceChecker {
+        self.tenants = Some(tenants);
         self
     }
 
@@ -138,6 +148,7 @@ impl ComplianceChecker {
             regulation: &self.regulation,
             now,
             evidence: self.evidence,
+            tenants: self.tenants.as_ref(),
         };
         let mut report = ComplianceReport {
             at: now,
@@ -214,7 +225,7 @@ mod tests {
         });
         let report = checker.check(&state, &history, &purposes, t(100));
         assert!(report.is_compliant(), "violations: {:?}", report.violations);
-        assert_eq!(report.outcomes.len(), 11);
+        assert_eq!(report.outcomes.len(), 12);
         assert!(report.render().contains("COMPLIANT"));
     }
 

@@ -13,9 +13,16 @@
 //! | VII  | Record keeping               | 30            |
 //! | VIII | Obligations & Accountability | 19, 33, 34    |
 //! | IX   | Demonstrate compliance       | 24, 31        |
+//!
+//! The catalog also carries one deployment invariant that is not a
+//! Figure 1 row: **X — Tenant isolation** (arts. 28, 32), introduced
+//! with the served multi-tenant engine. It is vacuous for single-tenant
+//! deployments and becomes checkable once the engine supplies a
+//! [`crate::tenant::TenantDirectory`].
 
 use crate::action::ActionKind;
 use crate::purpose::well_known as wk;
+use crate::tenant::TenantId;
 use crate::violation::{Severity, Violation};
 
 use super::{g17::G17TimelyErasure, g6::G6PolicyConsistency, CheckContext, Invariant};
@@ -430,6 +437,91 @@ impl Invariant for Demonstrate {
     }
 }
 
+/// **X — Tenant isolation**: "One tenant's probes must never surface
+/// another tenant's tuples, residuals, or audit records."
+///
+/// Grounding (served multi-tenant deployments; vacuous when no
+/// [`crate::tenant::TenantDirectory`] is supplied in the context): the
+/// tenant partition must hold over the *whole* model, erased residuals
+/// and audit records included —
+///
+/// * **(a) units** — no data unit's subjects may span two tenants: a
+///   unit belongs to exactly the tenant of its subjects, so erasure and
+///   restore of that unit can only ever touch one tenant's data;
+/// * **(b) history** — every recorded action (the abstract audit
+///   record) on a tenant-owned unit must have been performed by an
+///   entity of the *same* tenant. Entities absent from the directory
+///   are infrastructure principals (the serving platform's shared
+///   controller/processor/auditor) and are exempt: the gateway's
+///   key-scoped sessions are what confine those to one tenant's block.
+pub struct TenantIsolation;
+
+impl Invariant for TenantIsolation {
+    fn id(&self) -> &'static str {
+        "X"
+    }
+    fn statement(&self) -> &'static str {
+        "Isolate tenants: no probe surfaces another tenant's data or records."
+    }
+    fn articles(&self) -> &'static [u8] {
+        &[28, 32]
+    }
+    fn check(&self, ctx: &CheckContext<'_>) -> Vec<Violation> {
+        let dir = match ctx.tenants {
+            Some(d) if !d.is_empty() => d,
+            _ => return Vec::new(),
+        };
+        let mut out = Vec::new();
+        let mut unit_tenant: std::collections::HashMap<crate::ids::UnitId, TenantId> =
+            std::collections::HashMap::new();
+        for id in ctx.state.unit_ids_sorted() {
+            let unit = ctx.state.unit(id).expect("listed");
+            let mut tenants: Vec<TenantId> = unit
+                .subjects
+                .iter()
+                .filter_map(|&s| dir.tenant_of(s))
+                .collect();
+            tenants.sort_unstable();
+            tenants.dedup();
+            match tenants.as_slice() {
+                [] => {}
+                [one] => {
+                    unit_tenant.insert(id, *one);
+                }
+                many => {
+                    out.push(Violation::on_unit(
+                        "X",
+                        id,
+                        ctx.now,
+                        Severity::Critical,
+                        format!(
+                            "unit's subjects span {} tenants — the tenant partition is breached",
+                            many.len()
+                        ),
+                    ));
+                }
+            }
+        }
+        for t in ctx.history.iter() {
+            let owner = unit_tenant.get(&t.unit).copied();
+            let actor = dir.tenant_of(t.entity);
+            if let (Some(owner), Some(actor)) = (owner, actor) {
+                if actor != owner {
+                    out.push(Violation {
+                        invariant: "X",
+                        unit: Some(t.unit),
+                        entity: Some(t.entity),
+                        at: t.at,
+                        severity: Severity::Critical,
+                        message: format!("{actor} acted on a unit owned by {owner}"),
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -454,6 +546,7 @@ mod tests {
         purposes: PurposeRegistry,
         regulation: Regulation,
         evidence: EvidenceFlags,
+        tenants: crate::tenant::TenantDirectory,
     }
 
     impl Fx {
@@ -467,6 +560,7 @@ mod tests {
                     audit_log_tamper_evident: true,
                     encryption_at_rest_default: true,
                 },
+                tenants: crate::tenant::TenantDirectory::new(),
             }
         }
 
@@ -499,6 +593,7 @@ mod tests {
                 regulation: &self.regulation,
                 now,
                 evidence: self.evidence,
+                tenants: (!self.tenants.is_empty()).then_some(&self.tenants),
             };
             inv.check(&ctx)
         }
@@ -700,5 +795,69 @@ mod tests {
     fn demonstrate_passes_on_empty_database() {
         let fx = Fx::new();
         assert!(fx.check(&Demonstrate, t(5)).is_empty());
+    }
+
+    #[test]
+    fn tenant_isolation_vacuous_without_directory() {
+        let mut fx = Fx::new();
+        let _ = fx.collect_with_consent(1, t(0));
+        assert!(fx.check(&TenantIsolation, t(5)).is_empty());
+    }
+
+    #[test]
+    fn tenant_isolation_passes_on_clean_partition() {
+        let mut fx = Fx::new();
+        let _a = fx.collect_with_consent(1, t(0));
+        let _b = fx.collect_with_consent(2, t(0));
+        fx.tenants.assign(EntityId(1), TenantId(1));
+        fx.tenants.assign(EntityId(2), TenantId(2));
+        assert!(fx.check(&TenantIsolation, t(5)).is_empty());
+    }
+
+    #[test]
+    fn tenant_isolation_flags_unit_spanning_tenants() {
+        let mut fx = Fx::new();
+        let uid = fx.collect_with_consent(1, t(0));
+        // A second subject from another tenant attached to the same unit.
+        fx.state.unit_mut(uid).unwrap().subjects.push(EntityId(2));
+        fx.tenants.assign(EntityId(1), TenantId(1));
+        fx.tenants.assign(EntityId(2), TenantId(2));
+        let v = fx.check(&TenantIsolation, t(5));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].severity, Severity::Critical);
+        assert!(v[0].message.contains("span"));
+    }
+
+    #[test]
+    fn tenant_isolation_flags_cross_tenant_action() {
+        let mut fx = Fx::new();
+        let uid = fx.collect_with_consent(1, t(0));
+        fx.tenants.assign(EntityId(1), TenantId(1));
+        fx.tenants.assign(EntityId(9), TenantId(2));
+        // Tenant 2's entity reads tenant 1's unit: an audit record leaked
+        // across the partition.
+        fx.history.record(HistoryTuple {
+            unit: uid,
+            purpose: wk::analytics(),
+            entity: EntityId(9),
+            action: Action::Read,
+            at: t(3),
+        });
+        let v = fx.check(&TenantIsolation, t(5));
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("tenant-2"));
+        // The same action by an infrastructure entity (unassigned) is the
+        // platform acting on the tenant's behalf: exempt.
+        let mut ok = Fx::new();
+        let uid2 = ok.collect_with_consent(1, t(0));
+        ok.tenants.assign(EntityId(1), TenantId(1));
+        ok.history.record(HistoryTuple {
+            unit: uid2,
+            purpose: wk::analytics(),
+            entity: EntityId(50),
+            action: Action::Read,
+            at: t(3),
+        });
+        assert!(ok.check(&TenantIsolation, t(5)).is_empty());
     }
 }

@@ -159,6 +159,7 @@ mod tests {
             regulation: &f.regulation,
             now,
             evidence: EvidenceFlags::default(),
+            tenants: None,
         };
         G17TimelyErasure.check(&ctx)
     }

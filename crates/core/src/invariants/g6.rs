@@ -97,6 +97,7 @@ mod tests {
             regulation: &reg,
             now: t(50),
             evidence: EvidenceFlags::default(),
+            tenants: None,
         };
         assert!(G6PolicyConsistency.check(&ctx).is_empty());
     }
@@ -119,6 +120,7 @@ mod tests {
             regulation: &reg,
             now: t(50),
             evidence: EvidenceFlags::default(),
+            tenants: None,
         };
         let v = G6PolicyConsistency.check(&ctx);
         assert_eq!(v.len(), 1);
@@ -145,6 +147,7 @@ mod tests {
             regulation: &reg,
             now: t(200),
             evidence: EvidenceFlags::default(),
+            tenants: None,
         };
         assert_eq!(G6PolicyConsistency.check(&ctx).len(), 1);
     }

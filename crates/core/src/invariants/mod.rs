@@ -19,6 +19,7 @@ use crate::history::ActionHistory;
 use crate::purpose::PurposeRegistry;
 use crate::regulation::Regulation;
 use crate::state::DatabaseState;
+use crate::tenant::TenantDirectory;
 use crate::violation::Violation;
 
 /// Externally supplied evidence the model cannot derive by itself
@@ -46,11 +47,14 @@ pub struct CheckContext<'a> {
     pub now: Ts,
     /// External evidence flags.
     pub evidence: EvidenceFlags,
+    /// Entity → tenant assignments for served multi-tenant deployments
+    /// (`None` or empty for single-tenant, in-process deployments).
+    pub tenants: Option<&'a TenantDirectory>,
 }
 
 /// A checkable invariant.
 pub trait Invariant: Send + Sync {
-    /// Stable identifier ("I".."IX", "G6", "G17").
+    /// Stable identifier ("I".."X", "G6", "G17").
     fn id(&self) -> &'static str;
     /// Short human-readable statement.
     fn statement(&self) -> &'static str;
@@ -72,6 +76,7 @@ pub fn full_catalog() -> Vec<Box<dyn Invariant>> {
         Box::new(catalog::RecordKeeping),
         Box::new(catalog::Obligations),
         Box::new(catalog::Demonstrate),
+        Box::new(catalog::TenantIsolation),
         Box::new(g6::G6PolicyConsistency),
         Box::new(g17::G17TimelyErasure),
     ]
@@ -86,7 +91,7 @@ mod tests {
         let cat = full_catalog();
         let ids: Vec<&str> = cat.iter().map(|i| i.id()).collect();
         let expected = [
-            "I", "II", "III", "IV", "V", "VI", "VII", "VIII", "IX", "G6", "G17",
+            "I", "II", "III", "IV", "V", "VI", "VII", "VIII", "IX", "X", "G6", "G17",
         ];
         assert_eq!(ids, expected);
         let mut dedup = ids.clone();

@@ -41,6 +41,7 @@ pub mod provenance;
 pub mod purpose;
 pub mod regulation;
 pub mod state;
+pub mod tenant;
 pub mod timeline;
 pub mod unit;
 pub mod value;
@@ -56,6 +57,7 @@ pub use policy::{Policy, PolicySet};
 pub use purpose::PurposeId;
 pub use regulation::Regulation;
 pub use state::DatabaseState;
+pub use tenant::{KeyRange, TenantDirectory, TenantId};
 pub use unit::{Category, DataUnit, ErasureStatus, Origin};
 pub use value::{Value, VersionedValue};
 pub use violation::{Severity, Violation};

@@ -36,7 +36,7 @@ pub struct Regulation {
     /// Whether a pre-processing assessment (Art. 35 DPIA) is required
     /// before a new purpose touches personal data.
     pub require_assessment: bool,
-    /// Enforced invariant identifiers (subset of the catalog: "I".."IX",
+    /// Enforced invariant identifiers (subset of the catalog: "I".."X",
     /// "G6", "G17").
     pub invariants: Vec<&'static str>,
 }
@@ -52,7 +52,7 @@ impl Regulation {
             require_encryption_at_rest: true,
             require_assessment: true,
             invariants: vec![
-                "I", "II", "III", "IV", "V", "VI", "VII", "VIII", "IX", "G6", "G17",
+                "I", "II", "III", "IV", "V", "VI", "VII", "VIII", "IX", "X", "G6", "G17",
             ],
         }
     }

@@ -686,6 +686,7 @@ impl CompliantDb {
         request: &Request,
         actor: Actor,
         purpose: Option<PurposeId>,
+        scope: Option<datacase_core::tenant::KeyRange>,
     ) -> Result<Reply, EngineError> {
         if !matches!(request, Request::Erase { .. } | Request::Restore { .. }) {
             // Workload ops drive the checkpoint cadence; the compliance
@@ -703,7 +704,7 @@ impl CompliantDb {
             Request::Delete { key } => self.op_delete(*key, actor),
             Request::ReadMeta { key } => self.op_read_meta(*key, actor, purpose),
             Request::UpdateMeta { key, field } => self.op_update_meta(*key, *field, actor),
-            Request::ReadByMeta { selector } => self.op_read_by_meta(*selector, purpose),
+            Request::ReadByMeta { selector } => self.op_read_by_meta(*selector, purpose, scope),
             Request::Erase {
                 key,
                 interpretation,
@@ -1309,18 +1310,30 @@ impl CompliantDb {
         &mut self,
         selector: MetaSelector,
         declared: Option<PurposeId>,
+        scope: Option<datacase_core::tenant::KeyRange>,
     ) -> Result<Reply, EngineError> {
         const SCAN_CAP: usize = 20;
+        // A scoped session only ever sees its own block of the keyspace:
+        // candidates outside it are filtered before costing, capping, and
+        // enforcement, so another tenant's records are invisible even to
+        // metadata probes.
+        let in_scope = |key: &u64| scope.map(|r| r.contains(*key)).unwrap_or(true);
         let keys: Vec<u64> = match selector {
             MetaSelector::ByPurpose(p) => self
                 .by_purpose
                 .get(&p)
-                .map(|s| s.iter().copied().take(SCAN_CAP).collect())
+                .map(|s| s.iter().copied().filter(in_scope).take(SCAN_CAP).collect())
                 .unwrap_or_default(),
             MetaSelector::BySubject(s) => self
                 .by_subject
                 .get(&s)
-                .map(|set| set.iter().copied().take(SCAN_CAP).collect())
+                .map(|set| {
+                    set.iter()
+                        .copied()
+                        .filter(in_scope)
+                        .take(SCAN_CAP)
+                        .collect()
+                })
                 .unwrap_or_default(),
         };
         // Metadata-index probe cost.
@@ -1510,13 +1523,26 @@ impl CompliantDb {
     }
 
     /// Run the compliance checker against this engine's model.
+    ///
+    /// The engine knows which tenant every registered subject belongs to
+    /// (the subject number carries it — see
+    /// [`datacase_core::tenant::TenantId::of_subject`]), so it supplies a
+    /// [`datacase_core::tenant::TenantDirectory`] arming the
+    /// tenant-isolation invariant X. Single-tenant engines assign every
+    /// subject to tenant 0 and X degenerates to the vacuous case of one
+    /// partition class.
     pub fn compliance_report(&mut self, regulation: &Regulation) -> ComplianceReport {
         let evidence = EvidenceFlags {
             audit_log_tamper_evident: self.logger.verify_chain(),
             encryption_at_rest_default: self.config.encryption_at_rest(),
         };
+        let mut tenants = datacase_core::tenant::TenantDirectory::new();
+        for (&subject, &entity) in &self.subject_entities {
+            tenants.assign(entity, datacase_core::tenant::TenantId::of_subject(subject));
+        }
         ComplianceChecker::new(regulation.clone())
             .with_evidence(evidence)
+            .with_tenants(tenants)
             .check(&self.state, &self.history, &self.purposes, self.clock.now())
     }
 }

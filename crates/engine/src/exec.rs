@@ -653,6 +653,18 @@ fn admitted(db: &CompliantDb, session: &Session) -> bool {
         .unwrap_or(true)
 }
 
+/// Key-scope admission: a scoped session may only address keys inside
+/// its block. Like the deadline gate, denial happens before enforcement
+/// and writes no audit records — the request never names a record the
+/// session could legitimately see. Scans carry no key and are admitted;
+/// their candidate set is filtered to the scope inside the engine.
+fn in_scope(session: &Session, request: &Request) -> bool {
+    match (session.scope(), request.key()) {
+        (Some(scope), Some(key)) => scope.contains(key),
+        _ => true,
+    }
+}
+
 /// Execute one request in submission order. With `jobs` present (a
 /// pipelined span), point reads defer their decryption into the job
 /// queue; everything else runs to completion here either way.
@@ -664,7 +676,11 @@ fn run_one(
     jobs: Option<&mut Vec<CipherJob>>,
 ) -> Response {
     let seq_before = db.log_seq();
-    let outcome = if admitted(db, session) {
+    let outcome = if !in_scope(session, request) {
+        Err(EngineError::Denied {
+            reason: "key outside session scope".into(),
+        })
+    } else if admitted(db, session) {
         match (jobs, classify(request)) {
             (Some(jobs), RequestClass::ReadOnly) => {
                 db.tick_cadence();
@@ -680,7 +696,7 @@ fn run_one(
                 jobs.extend(job);
                 outcome
             }
-            _ => db.apply(request, session.actor(), session.purpose()),
+            _ => db.apply(request, session.actor(), session.purpose(), session.scope()),
         }
     } else {
         Err(EngineError::Denied {

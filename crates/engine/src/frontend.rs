@@ -363,17 +363,20 @@ pub struct Session {
     actor: Actor,
     purpose: Option<PurposeId>,
     deadline: Option<Ts>,
+    scope: Option<datacase_core::tenant::KeyRange>,
 }
 
 impl Session {
     /// A session for `actor` with no declared purpose (each request's
     /// purpose is derived from the actor and the record's collection
-    /// metadata, as workload streams expect) and no deadline.
+    /// metadata, as workload streams expect), no deadline, and no
+    /// key-scope.
     pub fn new(actor: Actor) -> Session {
         Session {
             actor,
             purpose: None,
             deadline: None,
+            scope: None,
         }
     }
 
@@ -402,9 +405,24 @@ impl Session {
         self.purpose
     }
 
+    /// Confine the session to a half-open block of the keyspace: any
+    /// key-addressed request outside `scope` is denied at admission, and
+    /// metadata scans only see records inside it. This is how the
+    /// multi-tenant gateway pins each tenant's sessions to the tenant's
+    /// own keyspace block.
+    pub fn scoped(mut self, scope: datacase_core::tenant::KeyRange) -> Session {
+        self.scope = Some(scope);
+        self
+    }
+
     /// The admission deadline, if any.
     pub fn deadline(&self) -> Option<Ts> {
         self.deadline
+    }
+
+    /// The key-scope, if any.
+    pub fn scope(&self) -> Option<datacase_core::tenant::KeyRange> {
+        self.scope
     }
 }
 

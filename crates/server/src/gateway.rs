@@ -1,0 +1,502 @@
+//! The multi-tenant TCP gateway: authenticates tenants, namespaces their
+//! requests, and feeds one shared [`ConcurrentEngine`].
+//!
+//! One [`Server`] owns one engine and hosts many tenants. Each accepted
+//! connection must open with a [`Frame::Hello`] naming a registered
+//! tenant and presenting its token; the gateway answers with
+//! [`Frame::Welcome`] and from then on serves [`Frame::Batch`]es.
+//!
+//! ## Isolation, in three layers
+//!
+//! 1. **Namespacing.** Client requests speak tenant-local keys and
+//!    subject ids; the gateway rewrites them into the tenant's block of
+//!    the shared keyspace ([`TenantId::global_key`] /
+//!    [`TenantId::global_subject`]) on the way in and rewrites reply keys
+//!    back on the way out, so no tenant ever *sees* a global id.
+//! 2. **Engine scoping.** Every batch executes under a
+//!    [`Session`] carrying the tenant's [`TenantId::key_range`]: the
+//!    engine itself denies key-addressed requests outside the block and
+//!    filters metadata scans to it — a compromised or buggy gateway
+//!    rewrite cannot reach across tenants.
+//! 3. **Grounding.** The engine's subject registry records which tenant
+//!    each subject belongs to, so
+//!    [`compliance_report`](datacase_engine::frontend::Frontend::compliance_report)
+//!    checks the `TenantIsolation` invariant (X) over the final state,
+//!    history, and audit records.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use datacase_core::tenant::TenantId;
+use datacase_engine::concurrent::{ConcurrentEngine, EngineHandle};
+use datacase_engine::error::EngineError;
+use datacase_engine::frontend::{Frontend, Request, Response, Session};
+use datacase_engine::profiles::EngineConfig;
+use datacase_engine::Actor;
+use datacase_workloads::opstream::MetaSelector;
+
+use crate::wire::{read_frame_raw, write_frame, Frame, WireError};
+
+/// A tenant as registered with the gateway: its wire name and
+/// shared-secret token. Tenant ids are assigned at registration order,
+/// starting from 1 (tenant 0 is the default/unserved tenant).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TenantSpec {
+    /// Name the tenant presents in its handshake.
+    pub name: String,
+    /// Shared-secret token the handshake must match.
+    pub token: String,
+}
+
+impl TenantSpec {
+    /// Convenience constructor.
+    pub fn new(name: &str, token: &str) -> TenantSpec {
+        TenantSpec {
+            name: name.into(),
+            token: token.into(),
+        }
+    }
+}
+
+struct Registered {
+    id: TenantId,
+    token: String,
+}
+
+/// The running gateway: accept loop + one thread per connection, all
+/// feeding cloneable [`EngineHandle`]s of one shared engine.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    engine: ConcurrentEngine,
+}
+
+impl Server {
+    /// Bind a loopback listener, spin up `shards` engine shards of
+    /// `config`, and start serving the given tenants. Returns once the
+    /// listener is accepting.
+    pub fn spawn(config: EngineConfig, shards: usize, tenants: &[TenantSpec]) -> Server {
+        let engine = ConcurrentEngine::new(config, shards);
+        let mut registry: HashMap<String, Registered> = HashMap::new();
+        for (i, spec) in tenants.iter().enumerate() {
+            registry.insert(
+                spec.name.clone(),
+                Registered {
+                    id: TenantId(i as u32 + 1),
+                    token: spec.token.clone(),
+                },
+            );
+        }
+        let registry = Arc::new(registry);
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback listener");
+        let addr = listener.local_addr().expect("listener address");
+        let stop = Arc::new(AtomicBool::new(false));
+        let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let connections = Arc::clone(&connections);
+            let handle = engine.handle();
+            let shards = engine.shards() as u16;
+            std::thread::Builder::new()
+                .name("datacase-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let registry = Arc::clone(&registry);
+                        let handle = handle.clone();
+                        let conn = std::thread::Builder::new()
+                            .name("datacase-conn".into())
+                            .spawn(move || serve_connection(stream, &registry, handle, shards))
+                            .expect("spawn connection thread");
+                        connections.lock().expect("connection list").push(conn);
+                    }
+                })
+                .expect("spawn accept thread")
+        };
+        Server {
+            addr,
+            stop,
+            accept: Some(accept),
+            connections,
+            engine,
+        }
+    }
+
+    /// The address the gateway is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A direct in-process submission port into the shared engine (used
+    /// by benches to measure the wire layer's overhead against the same
+    /// engine).
+    pub fn engine_handle(&self) -> EngineHandle {
+        self.engine.handle()
+    }
+
+    /// Graceful shutdown: stop accepting, drain every in-flight
+    /// connection (each is served until its client closes or says
+    /// goodbye), then drain and join the engine's shard workers. Returns
+    /// the per-shard [`Frontend`]s for forensics, chain verification, and
+    /// compliance checks.
+    pub fn shutdown(mut self) -> Vec<Frontend> {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a no-op connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            accept.join().expect("accept thread panicked");
+        }
+        let connections = std::mem::take(&mut *self.connections.lock().expect("connection list"));
+        for conn in connections {
+            conn.join().expect("connection thread panicked");
+        }
+        self.engine.shutdown()
+    }
+}
+
+/// Serve one authenticated connection until EOF, goodbye, or a fatal
+/// protocol error. Never panics on malformed input: payload-level decode
+/// failures are answered with [`Frame::ProtocolError`] and the stream
+/// continues at the next frame boundary.
+fn serve_connection(
+    mut stream: TcpStream,
+    registry: &HashMap<String, Registered>,
+    handle: EngineHandle,
+    shards: u16,
+) {
+    stream.set_nodelay(true).ok();
+    // --- Handshake ---
+    let hello = match read_decoded(&mut stream) {
+        Ok(frame) => frame,
+        Err(_) => return,
+    };
+    let (tenant, actor) = match hello {
+        Frame::Hello {
+            tenant,
+            token,
+            actor,
+        } => match registry.get(&tenant) {
+            Some(reg) if reg.token == token => (reg.id, actor),
+            _ => {
+                let _ = write_frame(
+                    &mut stream,
+                    &Frame::ProtocolError {
+                        code: "unauthorized".into(),
+                        detail: "unknown tenant or bad token".into(),
+                    },
+                );
+                return;
+            }
+        },
+        _ => {
+            let _ = write_frame(
+                &mut stream,
+                &Frame::ProtocolError {
+                    code: "handshake".into(),
+                    detail: "expected a Hello frame".into(),
+                },
+            );
+            return;
+        }
+    };
+    if write_frame(
+        &mut stream,
+        &Frame::Welcome {
+            tenant_id: tenant.0,
+            shards,
+        },
+    )
+    .is_err()
+    {
+        return;
+    }
+    // --- Serve batches ---
+    let session = Session::new(actor).scoped(tenant.key_range());
+    loop {
+        let frame = match read_frame_raw(&mut stream) {
+            Ok((frame_type, payload)) => match Frame::decode(frame_type, &payload) {
+                Ok(frame) => frame,
+                Err(err) if !err.is_fatal() => {
+                    // The length prefix consumed the bad frame; report and
+                    // keep serving from the next boundary.
+                    if reply_protocol_error(&mut stream, &err).is_err() {
+                        return;
+                    }
+                    continue;
+                }
+                Err(err) => {
+                    let _ = reply_protocol_error(&mut stream, &err);
+                    return;
+                }
+            },
+            // EOF and header-level corruption both end the connection.
+            Err(_) => return,
+        };
+        match frame {
+            Frame::Batch(local) => {
+                let global = match namespace_batch(tenant, &local) {
+                    Ok(global) => global,
+                    Err(detail) => {
+                        let refusal = Frame::ProtocolError {
+                            code: "namespace".into(),
+                            detail,
+                        };
+                        if write_frame(&mut stream, &refusal).is_err() {
+                            return;
+                        }
+                        continue;
+                    }
+                };
+                let (responses, stamps) = handle.submit(&session, &global).wait();
+                let responses: Vec<Response> = responses
+                    .into_iter()
+                    .map(|r| localise_response(tenant, r))
+                    .collect();
+                if write_frame(&mut stream, &Frame::Replies { responses, stamps }).is_err() {
+                    return;
+                }
+            }
+            Frame::Goodbye => {
+                let _ = stream.flush();
+                return;
+            }
+            _ => {
+                let err = WireError::Protocol("unexpected frame after handshake".into());
+                if reply_protocol_error(&mut stream, &err).is_err() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn read_decoded(stream: &mut TcpStream) -> Result<Frame, WireError> {
+    let (frame_type, payload) = read_frame_raw(stream)?;
+    Frame::decode(frame_type, &payload)
+}
+
+fn reply_protocol_error(stream: &mut TcpStream, err: &WireError) -> Result<(), WireError> {
+    write_frame(
+        stream,
+        &Frame::ProtocolError {
+            code: err.code().into(),
+            detail: err.to_string(),
+        },
+    )
+}
+
+/// Rewrite a tenant-local batch into the shared keyspace: keys move into
+/// the tenant's block, and the subject ids carried by `Create` metadata
+/// and `BySubject` selectors move into the tenant's subject block.
+fn namespace_batch(tenant: TenantId, local: &[Request]) -> Result<Vec<Request>, String> {
+    let key = |k: u64| {
+        tenant
+            .global_key(k)
+            .ok_or_else(|| format!("key {k} outside the tenant-local keyspace"))
+    };
+    let subject = |s: u32| {
+        tenant
+            .global_subject(s)
+            .ok_or_else(|| format!("subject {s} outside the tenant-local subject space"))
+    };
+    local
+        .iter()
+        .map(|request| {
+            Ok(match request {
+                Request::Create {
+                    key: k,
+                    payload,
+                    metadata,
+                } => {
+                    let mut metadata = metadata.clone();
+                    metadata.subject = subject(metadata.subject)?;
+                    Request::Create {
+                        key: key(*k)?,
+                        payload: payload.clone(),
+                        metadata,
+                    }
+                }
+                Request::Read { key: k } => Request::Read { key: key(*k)? },
+                Request::Update { key: k, payload } => Request::Update {
+                    key: key(*k)?,
+                    payload: payload.clone(),
+                },
+                Request::Delete { key: k } => Request::Delete { key: key(*k)? },
+                Request::ReadMeta { key: k } => Request::ReadMeta { key: key(*k)? },
+                Request::UpdateMeta { key: k, field } => Request::UpdateMeta {
+                    key: key(*k)?,
+                    field: *field,
+                },
+                Request::ReadByMeta { selector } => Request::ReadByMeta {
+                    selector: match selector {
+                        MetaSelector::BySubject(s) => MetaSelector::BySubject(subject(*s)?),
+                        MetaSelector::ByPurpose(p) => MetaSelector::ByPurpose(*p),
+                    },
+                },
+                Request::Erase {
+                    key: k,
+                    interpretation,
+                } => Request::Erase {
+                    key: key(*k)?,
+                    interpretation: *interpretation,
+                },
+                Request::Restore { key: k } => Request::Restore { key: key(*k)? },
+            })
+        })
+        .collect()
+}
+
+/// Rewrite global keys in a response's error back into the tenant's
+/// local terms — a client must never see (or learn from) another block's
+/// key numbering.
+fn localise_response(tenant: TenantId, mut response: Response) -> Response {
+    if let Err(error) = &mut response.outcome {
+        match error {
+            EngineError::NotFound { key } => {
+                if let Some(local) = tenant.local_key(*key) {
+                    *key = local;
+                }
+            }
+            EngineError::RetentionExpired { key, .. } => {
+                if let Some(local) = tenant.local_key(*key) {
+                    *key = local;
+                }
+            }
+            EngineError::Denied { .. } | EngineError::Backend { .. } => {}
+        }
+    }
+    response
+}
+
+/// Connect to a served engine as `tenant` and run batches over the wire.
+/// Blocking, one in-flight batch at a time — the closed-loop client the
+/// bench driver and tests use.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    /// The server-assigned tenant id.
+    pub tenant_id: u32,
+    /// Shard count reported by the server.
+    pub shards: u16,
+}
+
+impl Client {
+    /// Dial `addr`, perform the tenant handshake, and return a connected
+    /// client (or the handshake's protocol error).
+    pub fn connect(
+        addr: SocketAddr,
+        tenant: &str,
+        token: &str,
+        actor: Actor,
+    ) -> Result<Client, WireError> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        write_frame(
+            &mut stream,
+            &Frame::Hello {
+                tenant: tenant.into(),
+                token: token.into(),
+                actor,
+            },
+        )?;
+        match read_decoded(&mut stream) {
+            Ok(Frame::Welcome { tenant_id, shards }) => Ok(Client {
+                stream,
+                tenant_id,
+                shards,
+            }),
+            Ok(Frame::ProtocolError { code, detail }) => {
+                Err(WireError::Protocol(format!("{code}: {detail}")))
+            }
+            Ok(_) => Err(WireError::Protocol("unexpected handshake reply".into())),
+            Err(err) => Err(err),
+        }
+    }
+
+    /// Submit one batch (tenant-local keys) and block for the responses
+    /// plus the batch's submit stamps.
+    pub fn call_stamped(
+        &mut self,
+        requests: &[Request],
+    ) -> Result<(Vec<Response>, Vec<datacase_engine::concurrent::SubmitStamp>), WireError> {
+        write_frame(&mut self.stream, &Frame::Batch(requests.to_vec()))?;
+        match read_decoded(&mut self.stream)? {
+            Frame::Replies { responses, stamps } => Ok((responses, stamps)),
+            Frame::ProtocolError { code, detail } => {
+                Err(WireError::Protocol(format!("{code}: {detail}")))
+            }
+            _ => Err(WireError::Protocol("unexpected reply frame".into())),
+        }
+    }
+
+    /// Submit one batch and block for the responses.
+    pub fn call(&mut self, requests: &[Request]) -> Result<Vec<Response>, WireError> {
+        Ok(self.call_stamped(requests)?.0)
+    }
+
+    /// Send one raw pre-encoded frame and read back the next frame —
+    /// test hook for protocol-error behaviour.
+    pub fn raw_round_trip(&mut self, bytes: &[u8]) -> Result<Frame, WireError> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()?;
+        read_decoded(&mut self.stream)
+    }
+
+    /// Orderly close: tell the server this client is done.
+    pub fn goodbye(mut self) -> Result<(), WireError> {
+        write_frame(&mut self.stream, &Frame::Goodbye)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handshake_rejects_bad_token() {
+        let server = Server::spawn(
+            EngineConfig::p_base(),
+            2,
+            &[TenantSpec::new("acme", "topsecret")],
+        );
+        let err = Client::connect(server.addr(), "acme", "wrong", Actor::Controller).unwrap_err();
+        assert!(matches!(err, WireError::Protocol(ref s) if s.contains("unauthorized")));
+        let err =
+            Client::connect(server.addr(), "ghost", "topsecret", Actor::Controller).unwrap_err();
+        assert!(matches!(err, WireError::Protocol(ref s) if s.contains("unauthorized")));
+        server.shutdown();
+    }
+
+    #[test]
+    fn namespacing_rejects_out_of_block_ids() {
+        let t = TenantId(1);
+        let over_key = Request::Read {
+            key: u64::from(u32::MAX) + 1,
+        };
+        assert!(namespace_batch(t, &[over_key]).is_err());
+        let ok = namespace_batch(t, &[Request::Read { key: 7 }]).unwrap();
+        assert_eq!(ok, vec![Request::Read { key: (1 << 32) | 7 }]);
+    }
+
+    #[test]
+    fn errors_are_localised_to_tenant_keys() {
+        let t = TenantId(2);
+        let global = t.global_key(5).unwrap();
+        let r = Response {
+            index: 0,
+            outcome: Err(EngineError::NotFound { key: global }),
+            audit: Default::default(),
+        };
+        let localised = localise_response(t, r);
+        assert_eq!(localised.outcome, Err(EngineError::NotFound { key: 5 }));
+    }
+}

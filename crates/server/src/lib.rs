@@ -1,0 +1,21 @@
+//! The served engine: a length-prefixed binary wire protocol
+//! ([`wire`]) plus a multi-tenant TCP gateway ([`gateway`]) that
+//! authenticates tenants and feeds one shared
+//! [`ConcurrentEngine`](datacase_engine::concurrent::ConcurrentEngine).
+//!
+//! The crate is std-only and thread-per-connection: a [`Server`]
+//! binds a loopback listener, each accepted connection performs a
+//! tenant handshake, and authenticated batches run under a
+//! key-range-scoped engine session so one tenant can never read,
+//! write, scan, or erase another tenant's units — a property the
+//! grounded `TenantIsolation` invariant (X) re-checks over the final
+//! state and audit history.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod gateway;
+pub mod wire;
+
+pub use gateway::{Client, Server, TenantSpec};
+pub use wire::{Frame, WireError, MAX_FRAME, VERSION};

@@ -29,6 +29,7 @@ pub use datacase_core as core;
 pub use datacase_crypto as crypto;
 pub use datacase_engine as engine;
 pub use datacase_policy as policy;
+pub use datacase_server as server;
 pub use datacase_sim as sim;
 pub use datacase_storage as storage;
 pub use datacase_workloads as workloads;
@@ -55,6 +56,7 @@ pub mod prelude {
     pub use datacase_engine::Actor;
     pub use datacase_engine::{driver::RunStats, RequestClass};
     pub use datacase_policy::enforcer::PolicyEpoch;
+    pub use datacase_server::{Client, Server, TenantSpec};
     pub use datacase_sim::time::{Dur, Ts};
     pub use datacase_sim::{CostModel, Meter, MeterSnapshot, SimClock};
     pub use datacase_workloads::opstream::Op;

@@ -30,6 +30,7 @@ const EXAMPLES: &[&str] = &[
     "policy_audit",
     "quickstart",
     "right_to_be_forgotten",
+    "served_engine",
 ];
 
 const BENCHES: &[&str] = &[
@@ -45,6 +46,7 @@ const BENCHES: &[&str] = &[
     "micro_substrates",
     "mt_throughput",
     "pipeline_throughput",
+    "server_throughput",
     "table1_erasure_actions",
     "table2_space_factor",
 ];
@@ -107,6 +109,7 @@ fn workspace_members_and_vendored_deps_exist() {
         "crypto",
         "engine",
         "policy",
+        "server",
         "sim",
         "storage",
         "workloads",

@@ -23,7 +23,7 @@ fn engine_run_passes_full_gdpr_catalog() {
         "{:?}",
         &report.violations[..report.violations.len().min(5)]
     );
-    assert_eq!(report.outcomes.len(), 11);
+    assert_eq!(report.outcomes.len(), 12);
 }
 
 #[test]
