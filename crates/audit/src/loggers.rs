@@ -406,13 +406,26 @@ impl EncryptedLogger {
         }
     }
 
-    /// Route payload encryption through the retained reference AES path
-    /// (see [`AesCtr::with_reference_mode`]) — per-logger, for A/B bench
-    /// engines. Ciphertext bytes are unchanged, only the implementation
-    /// measured.
-    pub fn with_reference_crypto(mut self, on: bool) -> EncryptedLogger {
-        self.cipher = std::sync::Arc::new(self.cipher.as_ref().clone().with_reference_mode(on));
+    /// Rebuild the payload cipher under `backend` (see
+    /// [`AesCtr::with_backend`]) — per-logger, for A/B bench engines.
+    /// Ciphertext bytes are unchanged, only the implementation measured.
+    pub fn with_crypto_backend(
+        mut self,
+        backend: datacase_crypto::CryptoBackend,
+    ) -> EncryptedLogger {
+        self.cipher = std::sync::Arc::new(self.cipher.as_ref().clone().with_backend(backend));
         self
+    }
+
+    /// Back-compat shim: `true` is `CryptoBackend::Reference`, `false`
+    /// the default `CryptoBackend::Auto`. Prefer
+    /// [`with_crypto_backend`](EncryptedLogger::with_crypto_backend).
+    pub fn with_reference_crypto(self, on: bool) -> EncryptedLogger {
+        self.with_crypto_backend(if on {
+            datacase_crypto::CryptoBackend::Reference
+        } else {
+            datacase_crypto::CryptoBackend::Auto
+        })
     }
 }
 

@@ -1,9 +1,12 @@
-//! Crypto hot-path microbenchmarks: fused T-table AES vs the retained
-//! byte-oriented reference rounds, on every shape the paper profiles pay
-//! for — block encryption, CTR streams (record- and page-sized), the
-//! LUKS-style sector cipher, the P_SYS encrypted audit log, and the key
-//! vault's cached schedules. `repro crypto` renders the same comparison
-//! into `BENCH_crypto.json`.
+//! Crypto hot-path microbenchmarks: hardware AES-NI (when the host has
+//! it) vs fused T-table AES vs the retained byte-oriented reference
+//! rounds, on every shape the paper profiles pay for — block
+//! encryption, CTR streams (record- and page-sized), the LUKS-style
+//! sector cipher, the P_SYS encrypted audit log, and the key vault's
+//! cached schedules. Software series force
+//! `CryptoBackend::Software`; under the default `Auto` they would
+//! silently measure the hardware path on AES-NI hosts. `repro crypto`
+//! renders the same comparison into `BENCH_crypto.json`.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use datacase_audit::loggers::{AuditLogger, EncryptedLogger};
@@ -15,6 +18,7 @@ use datacase_crypto::ctr::AesCtr;
 use datacase_crypto::sector::SectorCipher;
 use datacase_crypto::sha256::Sha256;
 use datacase_crypto::vault::KeyVault;
+use datacase_crypto::{aesni, CryptoBackend};
 use datacase_sim::time::Ts;
 use datacase_sim::{Meter, SimClock};
 use std::sync::Arc;
@@ -24,6 +28,15 @@ fn bench_block(c: &mut Criterion) {
     group.throughput(Throughput::Bytes(16));
     for (name, size) in [("aes128", KeySize::Aes128), ("aes256", KeySize::Aes256)] {
         let aes = Aes::new(size, &[0x42u8; 32][..size.key_len()]);
+        if let Some(hw) = aesni::AesNi::new(size, &[0x42u8; 32][..size.key_len()]) {
+            group.bench_function(format!("{name}_aesni"), |b| {
+                let mut block = [0xABu8; 16];
+                b.iter(|| {
+                    hw.encrypt_block(&mut block);
+                    block
+                });
+            });
+        }
         group.bench_function(format!("{name}_ttable"), |b| {
             let mut block = [0xABu8; 16];
             b.iter(|| {
@@ -46,8 +59,16 @@ fn bench_ctr(c: &mut Criterion) {
     let mut group = c.benchmark_group("crypto_ctr");
     for (label, len) in [("256b", 256usize), ("4k", 4096)] {
         group.throughput(Throughput::Bytes(len as u64));
-        let ctr = AesCtr::from_key(KeySize::Aes128, &[0u8; 16]);
+        let ctr =
+            AesCtr::from_key(KeySize::Aes128, &[0u8; 16]).with_backend(CryptoBackend::Software);
         let iv = AesCtr::iv_from_nonce(1);
+        if CryptoBackend::hardware_available() {
+            let hw = ctr.clone().with_backend(CryptoBackend::Hardware);
+            group.bench_function(format!("aes128_aesni_{label}"), |b| {
+                let mut buf = vec![0xABu8; len];
+                b.iter(|| hw.apply(iv, &mut buf));
+            });
+        }
         group.bench_function(format!("aes128_lane_{label}"), |b| {
             let mut buf = vec![0xABu8; len];
             b.iter(|| ctr.apply(iv, &mut buf));
@@ -63,7 +84,15 @@ fn bench_ctr(c: &mut Criterion) {
 fn bench_sector(c: &mut Criterion) {
     let mut group = c.benchmark_group("crypto_sector");
     group.throughput(Throughput::Bytes(4096));
-    let sc = SectorCipher::from_passphrase(b"luks-gbench-passphrase", KeySize::Aes256);
+    let sc = SectorCipher::from_passphrase(b"luks-gbench-passphrase", KeySize::Aes256)
+        .with_backend(CryptoBackend::Software);
+    if CryptoBackend::hardware_available() {
+        let hw = sc.clone().with_backend(CryptoBackend::Hardware);
+        group.bench_function("aes256_page_aesni", |b| {
+            let mut page = vec![0x5Au8; 4096];
+            b.iter(|| hw.apply(42, &mut page));
+        });
+    }
     group.bench_function("aes256_page_blocks", |b| {
         let mut page = vec![0x5Au8; 4096];
         b.iter(|| sc.apply(42, &mut page));

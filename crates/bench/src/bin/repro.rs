@@ -73,6 +73,17 @@ fn main() {
         }
     }
     if want("crypto") {
+        // Log what the runtime dispatcher picked so every recorded run
+        // is attributable to the silicon it measured.
+        println!(
+            "crypto backend: Auto resolves to \"{}\" on this host (hardware AES {})\n",
+            datacase_crypto::CryptoBackend::Auto.resolve(),
+            if datacase_crypto::CryptoBackend::hardware_available() {
+                "detected"
+            } else {
+                "not detected"
+            }
+        );
         let (micro, e2e_table, points, e2e) = figures::crypto_matrix(scale);
         println!("{}", micro.render_text());
         println!("{}", e2e_table.render_text());

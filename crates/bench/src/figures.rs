@@ -934,8 +934,9 @@ pub fn pipeline_json(points: &[PipelinePoint], scale: Scale) -> String {
 // ---------------------------------------------------------------------
 
 /// One measured crypto-substrate cell: host throughput through the
-/// retained byte-oriented reference path and the T-table / lane-XOR fast
-/// path over the same buffers.
+/// retained byte-oriented reference path, the software T-table /
+/// lane-XOR path, and (on AES-NI hosts) the hardware path, over the
+/// same buffers.
 #[derive(Clone, Debug)]
 pub struct CryptoPoint {
     /// Substrate label (cipher × buffer shape).
@@ -944,25 +945,33 @@ pub struct CryptoPoint {
     pub buf_bytes: usize,
     /// Reference-path throughput in MB/s.
     pub ref_mb_s: f64,
-    /// Fast-path throughput in MB/s.
+    /// Software (T-table) path throughput in MB/s.
     pub fast_mb_s: f64,
+    /// Hardware (AES-NI) path throughput in MB/s; `None` when the host
+    /// has no usable hardware AES.
+    pub hw_mb_s: Option<f64>,
 }
 
 impl CryptoPoint {
-    /// fast ÷ reference.
+    /// software ÷ reference.
     pub fn speedup(&self) -> f64 {
         self.fast_mb_s / self.ref_mb_s
+    }
+
+    /// hardware ÷ software, when the hardware series ran.
+    pub fn hw_speedup(&self) -> Option<f64> {
+        self.hw_mb_s.map(|hw| hw / self.fast_mb_s)
     }
 }
 
 /// One end-to-end encrypted-profile cell: transaction-phase wall times
-/// through three crypto configurations of the *same* engine build —
+/// through up to four crypto configurations of the *same* engine build —
 /// the retained byte-oriented reference rounds (selected per engine via
-/// [`EngineConfig::with_reference_crypto`], so results are bit-identical
-/// and only wall time moves), the T-table path
-/// with the pipeline off, and the T-table path with the pipeline on
-/// (apply-stage fan-out of tuple **and** P_SYS audit-log AES, which pays
-/// off on multi-core hosts).
+/// [`EngineConfig::with_crypto_backend`], so results are bit-identical
+/// and only wall time moves), the software T-table path with the
+/// pipeline off and on (apply-stage fan-out of tuple **and** P_SYS
+/// audit-log AES), and on AES-NI hosts the hardware backend with the
+/// pipeline on.
 ///
 /// The reference cells isolate the *round/XOR implementation*: this PR's
 /// other wins — cached key schedules, the `Arc`'d log cipher, the
@@ -984,8 +993,11 @@ pub struct CryptoEndToEnd {
     pub serial_wall_ms: f64,
     /// Best-of-reps wall ms, T-table crypto, pipeline on.
     pub pipelined_wall_ms: f64,
-    /// Simulated throughput (identical across all three configurations
-    /// by the parity + equivalence contracts; reported as evidence).
+    /// Best-of-reps wall ms, hardware (AES-NI) crypto, pipeline on;
+    /// `None` on hosts without hardware AES.
+    pub hardware_wall_ms: Option<f64>,
+    /// Simulated throughput (identical across every configuration by the
+    /// parity + equivalence contracts; reported as evidence).
     pub sim_ops_per_sec: f64,
 }
 
@@ -1008,36 +1020,55 @@ pub fn crypto_micro(scale: Scale) -> Vec<CryptoPoint> {
     use datacase_crypto::aes::KeySize;
     use datacase_crypto::ctr::AesCtr;
     use datacase_crypto::sector::SectorCipher;
+    use datacase_crypto::CryptoBackend;
     // ~32 MB through each series at full scale, ~3 MB on --quick.
     let budget = scale.div(32 * 1024 * 1024);
+    let hw_here = CryptoBackend::hardware_available();
     let mut points = Vec::new();
     let mut ctr_cell = |substrate: &'static str, size: KeySize, buf_bytes: usize| {
-        let ctr = AesCtr::from_key(size, &[0x42u8; 32][..size.key_len()]);
+        // The software series forces its backend: under `Auto` this
+        // cipher would silently become the hardware measurement on
+        // AES-NI hosts and the A/B would compare hardware to itself.
+        let sw = AesCtr::from_key(size, &[0x42u8; 32][..size.key_len()])
+            .with_backend(CryptoBackend::Software);
         let iv = AesCtr::iv_from_nonce(7);
         let mut buf = vec![0xABu8; buf_bytes];
         let passes = (budget / buf_bytes as u64).max(8);
-        let fast = throughput_mb_s(buf_bytes, passes, || ctr.apply(iv, &mut buf));
+        let fast = throughput_mb_s(buf_bytes, passes, || sw.apply(iv, &mut buf));
+        let hw = hw_here.then(|| {
+            let hw_ctr = sw.clone().with_backend(CryptoBackend::Hardware);
+            // Hardware sustains several times the software rate; give it
+            // the same byte budget scaled up so the timing window stays
+            // comparable.
+            throughput_mb_s(buf_bytes, passes * 4, || hw_ctr.apply(iv, &mut buf))
+        });
         // The reference path is ~4–5× slower; a quarter of the passes
         // keeps runtimes balanced without starving the measurement.
         let r = throughput_mb_s(buf_bytes, (passes / 4).max(8), || {
-            ctr.apply_ref(iv, &mut buf)
+            sw.apply_ref(iv, &mut buf)
         });
         points.push(CryptoPoint {
             substrate,
             buf_bytes,
             ref_mb_s: r,
             fast_mb_s: fast,
+            hw_mb_s: hw,
         });
     };
     ctr_cell("aes128-ctr 256 B (P_SYS log record)", KeySize::Aes128, 256);
     ctr_cell("aes128-ctr 4 KiB (P_SYS tuples)", KeySize::Aes128, 4096);
     ctr_cell("aes256-ctr 4 KiB (P_Base tuples)", KeySize::Aes256, 4096);
     {
-        let sc = SectorCipher::from_passphrase(b"luks-gbench-passphrase", KeySize::Aes256);
+        let sc = SectorCipher::from_passphrase(b"luks-gbench-passphrase", KeySize::Aes256)
+            .with_backend(CryptoBackend::Software);
         let buf_bytes = 4096;
         let mut buf = vec![0xCDu8; buf_bytes];
         let passes = (budget / buf_bytes as u64).max(8);
         let fast = throughput_mb_s(buf_bytes, passes, || sc.apply(11, &mut buf));
+        let hw = hw_here.then(|| {
+            let hw_sc = sc.clone().with_backend(CryptoBackend::Hardware);
+            throughput_mb_s(buf_bytes, passes * 4, || hw_sc.apply(11, &mut buf))
+        });
         let r = throughput_mb_s(buf_bytes, (passes / 4).max(8), || {
             sc.apply_ref(11, &mut buf)
         });
@@ -1046,6 +1077,7 @@ pub fn crypto_micro(scale: Scale) -> Vec<CryptoPoint> {
             buf_bytes,
             ref_mb_s: r,
             fast_mb_s: fast,
+            hw_mb_s: hw,
         });
     }
     points
@@ -1065,14 +1097,14 @@ pub fn crypto_cell(
     profile: ProfileKind,
     workload: YcsbWorkload,
     pipeline: bool,
-    reference: bool,
+    backend: datacase_crypto::CryptoBackend,
     records: u64,
     txns: u64,
     seed: u64,
 ) -> RunStats {
     let mut config = EngineConfig::for_profile(profile)
         .with_pipeline(pipeline)
-        .with_reference_crypto(reference)
+        .with_crypto_backend(backend)
         .with_decision_cache(4096);
     config.heap.buffer_pages = buffer_pages_for(records);
     let mut fe = Frontend::new(config);
@@ -1089,17 +1121,28 @@ pub fn crypto_cell(
 /// encryption), serial vs pipelined, with the sim-parity contract
 /// asserted on every cell.
 pub fn crypto_matrix(scale: Scale) -> (Table, Table, Vec<CryptoPoint>, Vec<CryptoEndToEnd>) {
+    use datacase_crypto::CryptoBackend;
     let points = crypto_micro(scale);
     let mut table = Table::new(
-        "Crypto substrate throughput — byte-oriented reference vs fused T-table path",
-        &["substrate", "reference (MB/s)", "T-table (MB/s)", "speedup"],
+        "Crypto substrate throughput — reference vs software T-table vs hardware AES-NI",
+        &[
+            "substrate",
+            "reference (MB/s)",
+            "software (MB/s)",
+            "hardware (MB/s)",
+            "sw/ref",
+            "hw/sw",
+        ],
     );
     for p in &points {
         table.row(vec![
             p.substrate.into(),
             f3(p.ref_mb_s),
             f3(p.fast_mb_s),
+            p.hw_mb_s.map_or_else(|| "n/a".into(), f3),
             format!("{:.2}x", p.speedup()),
+            p.hw_speedup()
+                .map_or_else(|| "n/a".into(), |s| format!("{s:.2}x")),
         ]);
     }
 
@@ -1113,8 +1156,9 @@ pub fn crypto_matrix(scale: Scale) -> (Table, Table, Vec<CryptoPoint>, Vec<Crypt
             "profile",
             "workload",
             "reference (wall ms)",
-            "T-table serial (wall ms)",
-            "T-table pipelined (wall ms)",
+            "software serial (wall ms)",
+            "software pipelined (wall ms)",
+            "hardware pipelined (wall ms)",
             "overall speedup",
             "sim identical",
         ],
@@ -1123,13 +1167,12 @@ pub fn crypto_matrix(scale: Scale) -> (Table, Table, Vec<CryptoPoint>, Vec<Crypt
     for profile in [ProfileKind::PSys, ProfileKind::PGBench] {
         let workload = YcsbWorkload::B;
         let seed = 7;
-        let run = |pipeline: bool, reference: bool| -> (f64, f64, usize) {
+        let run = |pipeline: bool, backend: CryptoBackend| -> (f64, f64, usize) {
             let mut best_wall = f64::INFINITY;
             let mut sim = 0.0;
             let mut ops = 0;
             for rep in 0..PIPELINE_REPS {
-                let stats =
-                    crypto_cell(profile, workload, pipeline, reference, records, txns, seed);
+                let stats = crypto_cell(profile, workload, pipeline, backend, records, txns, seed);
                 best_wall = best_wall.min(stats.wall.as_secs_f64() * 1e3);
                 let rep_sim = stats.sim_ops_per_sec();
                 assert!(
@@ -1144,21 +1187,35 @@ pub fn crypto_matrix(scale: Scale) -> (Table, Table, Vec<CryptoPoint>, Vec<Crypt
         // Reference cell: byte-oriented rounds, pipeline on (the PR-4
         // default) — bit-identical results, only wall time moves. A
         // lower bound on the pre-overhaul engine (see CryptoEndToEnd).
-        let (reference_wall_ms, ref_sim, ops) = run(true, true);
-        let (serial_wall_ms, serial_sim, _) = run(false, false);
-        let (pipelined_wall_ms, piped_sim, _) = run(true, false);
+        let (reference_wall_ms, ref_sim, ops) = run(true, CryptoBackend::Reference);
+        let (serial_wall_ms, serial_sim, _) = run(false, CryptoBackend::Software);
+        let (pipelined_wall_ms, piped_sim, _) = run(true, CryptoBackend::Software);
         assert!(
             ref_sim == serial_sim && serial_sim == piped_sim,
             "{}: simulated throughput diverged across crypto configurations ({ref_sim} / {serial_sim} / {piped_sim})",
             profile.label(),
         );
+        // Hardware cell (AES-NI hosts): the whole engine under the
+        // hardware backend, pipeline on — every simulated column must
+        // stay bit-identical to the software and reference runs.
+        let hardware_wall_ms = CryptoBackend::hardware_available().then(|| {
+            let (hw_wall, hw_sim, _) = run(true, CryptoBackend::Hardware);
+            assert!(
+                hw_sim == serial_sim,
+                "{}: simulated throughput diverged on the hardware backend ({hw_sim} vs {serial_sim})",
+                profile.label(),
+            );
+            hw_wall
+        });
+        let best_after = hardware_wall_ms.unwrap_or(pipelined_wall_ms);
         e2e_table.row(vec![
             profile.label().into(),
             workload.label().into(),
             f3(reference_wall_ms),
             f3(serial_wall_ms),
             f3(pipelined_wall_ms),
-            format!("{:.2}x", reference_wall_ms / pipelined_wall_ms),
+            hardware_wall_ms.map_or_else(|| "n/a".into(), f3),
+            format!("{:.2}x", reference_wall_ms / best_after),
             "yes".into(),
         ]);
         e2e.push(CryptoEndToEnd {
@@ -1168,6 +1225,7 @@ pub fn crypto_matrix(scale: Scale) -> (Table, Table, Vec<CryptoPoint>, Vec<Crypt
             reference_wall_ms,
             serial_wall_ms,
             pipelined_wall_ms,
+            hardware_wall_ms,
             sim_ops_per_sec: serial_sim,
         });
     }
@@ -1175,37 +1233,60 @@ pub fn crypto_matrix(scale: Scale) -> (Table, Table, Vec<CryptoPoint>, Vec<Crypt
 }
 
 /// Render the crypto report as the `BENCH_crypto.json` document
-/// (`BENCH_pipeline.json`-style): one object per micro substrate with
-/// before/after MB/s, one per end-to-end encrypted-profile cell with
-/// serial/pipelined wall times.
+/// (`BENCH_pipeline.json`-style): the host's detected CPU features and
+/// `Auto`'s resolved backend, one object per micro substrate with
+/// reference/software/hardware MB/s, one per end-to-end
+/// encrypted-profile cell with serial/pipelined/hardware wall times.
 pub fn crypto_json(points: &[CryptoPoint], e2e: &[CryptoEndToEnd], scale: Scale) -> String {
+    use datacase_crypto::{backend, CryptoBackend};
     let mut out = String::from("{\n  \"bench\": \"crypto_throughput\",\n");
+    out.push_str(&format!("  \"scale_divisor\": {},\n", scale.0));
     out.push_str(&format!(
-        "  \"scale_divisor\": {},\n  \"substrates\": [\n",
-        scale.0
+        "  \"auto_backend\": \"{}\",\n",
+        CryptoBackend::Auto.resolve()
     ));
+    let features = backend::cpu_features()
+        .into_iter()
+        .map(|(name, on)| format!("\"{name}\": {on}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    out.push_str(&format!("  \"cpu_features\": {{{features}}},\n"));
+    out.push_str("  \"substrates\": [\n");
     for (i, p) in points.iter().enumerate() {
+        let hw = p
+            .hw_mb_s
+            .map_or_else(|| "null".into(), |v| format!("{v:.3}"));
+        let hw_speedup = p
+            .hw_speedup()
+            .map_or_else(|| "null".into(), |v| format!("{v:.3}"));
         out.push_str(&format!(
-            "    {{\"substrate\": \"{}\", \"buf_bytes\": {}, \"reference_mb_s\": {:.3}, \"fast_mb_s\": {:.3}, \"speedup\": {:.3}}}{}\n",
+            "    {{\"substrate\": \"{}\", \"buf_bytes\": {}, \"reference_mb_s\": {:.3}, \"fast_mb_s\": {:.3}, \"hardware_mb_s\": {}, \"speedup\": {:.3}, \"hw_over_sw\": {}}}{}\n",
             p.substrate,
             p.buf_bytes,
             p.ref_mb_s,
             p.fast_mb_s,
+            hw,
             p.speedup(),
+            hw_speedup,
             if i + 1 < points.len() { "," } else { "" }
         ));
     }
     out.push_str("  ],\n  \"end_to_end\": [\n");
     for (i, c) in e2e.iter().enumerate() {
+        let hw_wall = c
+            .hardware_wall_ms
+            .map_or_else(|| "null".into(), |v| format!("{v:.3}"));
+        let best_after = c.hardware_wall_ms.unwrap_or(c.pipelined_wall_ms);
         out.push_str(&format!(
-            "    {{\"profile\": \"{}\", \"workload\": \"{}\", \"ops\": {}, \"reference_wall_ms\": {:.3}, \"ttable_serial_wall_ms\": {:.3}, \"ttable_pipelined_wall_ms\": {:.3}, \"speedup\": {:.3}, \"sim_ops_per_sec\": {:.3}}}{}\n",
+            "    {{\"profile\": \"{}\", \"workload\": \"{}\", \"ops\": {}, \"reference_wall_ms\": {:.3}, \"ttable_serial_wall_ms\": {:.3}, \"ttable_pipelined_wall_ms\": {:.3}, \"hardware_pipelined_wall_ms\": {}, \"speedup\": {:.3}, \"sim_ops_per_sec\": {:.3}}}{}\n",
             c.profile.label(),
             c.workload.label(),
             c.ops,
             c.reference_wall_ms,
             c.serial_wall_ms,
             c.pipelined_wall_ms,
-            c.reference_wall_ms / c.pipelined_wall_ms,
+            hw_wall,
+            c.reference_wall_ms / best_after,
             c.sim_ops_per_sec,
             if i + 1 < e2e.len() { "," } else { "" }
         ));

@@ -311,6 +311,19 @@ impl Aes {
         self.size
     }
 
+    /// The raw cipher key, reconstructed from the schedule (FIPS-197
+    /// §5.2: the first `Nk` expansion words *are* the key). Lets
+    /// [`AesCtr`](crate::ctr::AesCtr) re-expand an already-built cipher
+    /// onto a different backend without carrying key bytes separately.
+    pub(crate) fn raw_key(&self) -> Vec<u8> {
+        self.round_keys
+            .iter()
+            .flatten()
+            .copied()
+            .take(self.size.key_len())
+            .collect()
+    }
+
     fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
         for i in 0..16 {
             state[i] ^= rk[i];

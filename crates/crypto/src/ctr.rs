@@ -5,23 +5,42 @@
 //! stream), which is what the storage layers use for tuple payloads and
 //! whole pages.
 //!
-//! The keystream is generated batched: four counter blocks at a time run
-//! through `Aes::encrypt_words_x4` in interleaved u32 lanes (round keys
-//! loaded once per round, four independent dependency chains in flight),
-//! with a scalar remainder loop for the last 1–3 blocks, and the XOR runs
-//! in u128 lanes for whole blocks instead of byte-at-a-time. The original
-//! per-byte path survives as [`AesCtr::apply_ref`] for the
-//! crypto-equivalence gate and before/after throughput reporting.
+//! The keystream generator dispatches **once per cipher construction**
+//! over the [`CryptoBackend`] selector (never per block):
+//!
+//! * **Hardware** ([`crate::aesni`], x86_64 hosts with AES-NI): counter
+//!   blocks run 8-wide through AESENC in XMM registers with an SSE2 XOR.
+//! * **Software**: four counter blocks at a time through
+//!   `Aes::encrypt_words_x4` in interleaved u32 lanes (round keys loaded
+//!   once per round, four dependency chains in flight), scalar remainder
+//!   loop, u128-lane XOR.
+//! * **Reference**: the original per-byte path, retained as
+//!   [`AesCtr::apply_ref`] for the crypto-equivalence gate and
+//!   before/after throughput reporting.
+//!
+//! All three produce byte-identical streams (CI's crypto-equivalence and
+//! HW-crypto gates), so the selector changes wall-clock time and nothing
+//! else.
 
 use crate::aes::{Aes, KeySize};
+use crate::aesni::AesNi;
+use crate::backend::{ActiveBackend, CryptoBackend};
 
 /// AES in counter mode with a 16-byte initial counter block.
 #[derive(Clone, Debug)]
 pub struct AesCtr {
     aes: Aes,
-    /// Route [`apply`](AesCtr::apply) / [`apply_blocks`](AesCtr::apply_blocks)
+    /// The expanded hardware schedule — present exactly when this
+    /// instance's selector resolved to [`ActiveBackend::Hardware`] at
+    /// construction.
+    hw: Option<AesNi>,
+    /// The selector this instance was built under (kept for
+    /// introspection; the resolved implementation is what dispatches).
+    backend: CryptoBackend,
+    /// Resolved `backend == Reference`: route
+    /// [`apply`](AesCtr::apply) / [`apply_blocks`](AesCtr::apply_blocks)
     /// through the retained byte-oriented reference path. **Benchmark
-    /// instrumentation only**: the two paths are byte-identical (the
+    /// instrumentation only**: the paths are byte-identical (the
     /// crypto-equivalence gate), so the flag changes wall-clock time and
     /// nothing else. The switch is per-instance — an earlier process-wide
     /// toggle would have let one engine's A/B run silently reroute every
@@ -31,31 +50,72 @@ pub struct AesCtr {
 }
 
 impl AesCtr {
-    /// Build from an already-expanded cipher.
+    /// Build from an already-expanded cipher under the default
+    /// [`CryptoBackend::Auto`] selector (hardware when the host has it).
     pub fn new(aes: Aes) -> AesCtr {
-        AesCtr {
-            aes,
-            reference: false,
-        }
+        AesCtr::with_schedule(aes, CryptoBackend::Auto)
     }
 
-    /// Convenience constructor from raw key bytes.
+    /// Convenience constructor from raw key bytes (`Auto` backend).
     pub fn from_key(size: KeySize, key: &[u8]) -> AesCtr {
         AesCtr::new(Aes::new(size, key))
     }
 
-    /// Route this instance (and only this instance) through the retained
-    /// byte-oriented reference path — the "before" series of the crypto
-    /// throughput A/B. Key-schedule caching is unaffected; the flag
-    /// isolates the round/XOR implementation.
-    pub fn with_reference_mode(mut self, on: bool) -> AesCtr {
-        self.reference = on;
-        self
+    fn with_schedule(aes: Aes, backend: CryptoBackend) -> AesCtr {
+        let hw = match backend.resolve() {
+            ActiveBackend::Hardware => AesNi::new(aes.key_size(), &aes.raw_key()),
+            ActiveBackend::Software | ActiveBackend::Reference => None,
+        };
+        AesCtr {
+            hw,
+            reference: backend.resolve() == ActiveBackend::Reference,
+            backend,
+            aes,
+        }
+    }
+
+    /// Rebuild this instance under `backend` — the per-instance selector
+    /// every layer above threads down (engine config → vault / sector
+    /// cipher / encrypted logger → here). Resolution happens now, once:
+    /// `Auto`/`Hardware` expand the AES-NI schedule when the host
+    /// supports it and fall back to software otherwise.
+    pub fn with_backend(self, backend: CryptoBackend) -> AesCtr {
+        AesCtr::with_schedule(self.aes, backend)
+    }
+
+    /// Back-compat shim: `true` is [`CryptoBackend::Reference`], `false`
+    /// the default [`CryptoBackend::Auto`]. Prefer
+    /// [`with_backend`](AesCtr::with_backend).
+    pub fn with_reference_mode(self, on: bool) -> AesCtr {
+        self.with_backend(if on {
+            CryptoBackend::Reference
+        } else {
+            CryptoBackend::Auto
+        })
     }
 
     /// Whether this instance takes the reference path.
     pub fn is_reference(&self) -> bool {
         self.reference
+    }
+
+    /// The selector this instance was constructed under.
+    pub fn backend(&self) -> CryptoBackend {
+        self.backend
+    }
+
+    /// The implementation actually running: what the selector resolved
+    /// to at construction. Layers that cache schedules assert on this
+    /// (mixed-backend streams would be a silent perf lie, never a
+    /// correctness bug — the streams are byte-identical).
+    pub fn active_backend(&self) -> ActiveBackend {
+        if self.reference {
+            ActiveBackend::Reference
+        } else if self.hw.is_some() {
+            ActiveBackend::Hardware
+        } else {
+            ActiveBackend::Software
+        }
     }
 
     /// The underlying key size (for cost accounting).
@@ -122,11 +182,12 @@ impl AesCtr {
 
     /// The keystream block at `block_index` counter steps past `iv`.
     fn keystream_block(&self, iv: [u8; 16], block_index: u64) -> [u8; 16] {
-        let mut block = iv;
-        let counter =
-            u64::from_be_bytes(iv[8..16].try_into().expect("8 bytes")).wrapping_add(block_index);
-        block[8..16].copy_from_slice(&counter.to_be_bytes());
-        self.aes.encrypt_block(&mut block);
+        let mut block = Self::iv_at(iv, block_index);
+        if let Some(hw) = &self.hw {
+            hw.encrypt_block(&mut block);
+        } else {
+            self.aes.encrypt_block(&mut block);
+        }
         block
     }
 
@@ -137,7 +198,14 @@ impl AesCtr {
     /// [`Aes::encrypt_words_x4`] at once (round keys loaded once per
     /// round, four chains in flight), with a scalar loop for the last
     /// 1–3 blocks. The XOR runs over u128 lanes either way.
+    ///
+    /// When the instance resolved to the hardware backend, the whole
+    /// call is handed to [`AesNi::ctr_xor_blocks`] instead: 8 counter
+    /// blocks at a time through AESENC, SSE2 XOR.
     fn xor_keystream(&self, iv: [u8; 16], start_block: u64, data: &mut [u8]) {
+        if let Some(hw) = &self.hw {
+            return hw.ctr_xor_blocks(iv, start_block, data);
+        }
         let hi = u32::from_be_bytes(iv[0..4].try_into().expect("4 bytes"));
         let lo = u32::from_be_bytes(iv[4..8].try_into().expect("4 bytes"));
         let mut counter =

@@ -14,15 +14,21 @@
 //! behaviour of encrypted data paths inside a simulator, not to protect real
 //! secrets.
 //!
-//! The hot path is throughput-oriented: AES rounds run over fused u32
-//! T-tables, CTR XORs whole blocks in u128 lanes, and the per-unit
-//! [`vault`] caches expanded key schedules. The original byte-oriented
-//! rounds are retained (`*_ref` entry points) as the reference
-//! implementation a property-based equivalence gate pins the fast path
-//! against — see the workspace `tests/prop_crypto.rs`.
+//! The hot path is throughput-oriented and **backend-dispatched**: the
+//! [`backend::CryptoBackend`] selector picks between hardware AES-NI
+//! ([`aesni`], runtime-detected on x86_64), the software fused-T-table
+//! path with x4-batched keystream and u128-lane XOR ([`aes`]/[`ctr`]),
+//! and the retained byte-oriented reference rounds (`*_ref` entry
+//! points) that a property-based equivalence gate pins both fast paths
+//! against — see the workspace `tests/prop_crypto.rs`. The per-unit
+//! [`vault`] caches expanded key schedules (hardware round keys
+//! included) per live unit.
 //!
 //! Modules:
 //! * [`aes`] — AES-128/192/256 block cipher (encrypt + decrypt).
+//! * [`aesni`] — hardware AES via `std::arch` intrinsics; the crate's
+//!   only `unsafe`.
+//! * [`backend`] — the `Auto`/`Software`/`Hardware`/`Reference` selector.
 //! * [`ctr`] — AES-CTR stream mode used for tuple- and page-level encryption.
 //! * [`sha256`] — SHA-256 digest.
 //! * [`hmac`] — HMAC-SHA-256.
@@ -34,6 +40,8 @@
 //!   disk-layer encryption for the P_GBench profile.
 
 pub mod aes;
+pub mod aesni;
+pub mod backend;
 pub mod ctr;
 pub mod hmac;
 pub mod kdf;
@@ -42,5 +50,55 @@ pub mod sha256;
 pub mod vault;
 
 pub use aes::{Aes, KeySize};
+pub use backend::{ActiveBackend, CryptoBackend};
 pub use ctr::AesCtr;
 pub use sha256::Sha256;
+
+/// Constant-time equality for secret material (tokens, MACs).
+///
+/// Inequality of *lengths* is revealed — lengths are public for every
+/// caller here — but for equal-length inputs the comparison touches all
+/// bytes and accumulates differences with XOR, so timing does not leak
+/// *where* two values diverge. [`std::hint::black_box`] keeps the
+/// accumulator from being short-circuited by the optimiser.
+///
+/// The gateway's Hello handshake uses this for tenant-token checks; a
+/// naive early-exit `==` would let a byte-at-a-time guessing attack
+/// walk the token.
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    std::hint::black_box(diff) == 0
+}
+
+#[cfg(test)]
+mod ct_tests {
+    use super::ct_eq;
+
+    #[test]
+    fn ct_eq_matches_plain_equality() {
+        assert!(ct_eq(b"", b""));
+        assert!(ct_eq(b"secret-token", b"secret-token"));
+        assert!(!ct_eq(b"secret-token", b"secret-tokeN"));
+        assert!(!ct_eq(b"secret-token", b"Xecret-token"));
+        assert!(!ct_eq(b"short", b"longer-value"));
+        assert!(!ct_eq(b"a", b""));
+    }
+
+    #[test]
+    fn ct_eq_catches_single_bit_differences_at_every_position() {
+        let a = [0x5Au8; 32];
+        for pos in 0..a.len() {
+            for bit in 0..8 {
+                let mut b = a;
+                b[pos] ^= 1 << bit;
+                assert!(!ct_eq(&a, &b), "flip at byte {pos} bit {bit}");
+            }
+        }
+    }
+}

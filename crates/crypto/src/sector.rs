@@ -8,6 +8,7 @@
 use std::sync::Arc;
 
 use crate::aes::KeySize;
+use crate::backend::{ActiveBackend, CryptoBackend};
 use crate::ctr::AesCtr;
 use crate::sha256::Sha256;
 
@@ -52,14 +53,26 @@ impl SectorCipher {
         Arc::clone(&self.ctr)
     }
 
-    /// Route this cipher through the retained reference AES path (see
-    /// [`AesCtr::with_reference_mode`]) — per-instance, for A/B bench
-    /// engines that must not affect other engines in the process.
-    pub fn with_reference_mode(self, on: bool) -> SectorCipher {
+    /// Rebuild this cipher under `backend` (see [`AesCtr::with_backend`])
+    /// — per-instance, for A/B bench engines that must not affect other
+    /// engines in the process. Key material and sector-IV binding are
+    /// unchanged; only the round implementation differs.
+    pub fn with_backend(self, backend: CryptoBackend) -> SectorCipher {
         SectorCipher {
-            ctr: Arc::new((*self.ctr).clone().with_reference_mode(on)),
+            ctr: Arc::new((*self.ctr).clone().with_backend(backend)),
             iv_midstate: self.iv_midstate,
         }
+    }
+
+    /// Back-compat shim: `true` is [`CryptoBackend::Reference`], `false`
+    /// the default [`CryptoBackend::Auto`]. Prefer
+    /// [`with_backend`](SectorCipher::with_backend).
+    pub fn with_reference_mode(self, on: bool) -> SectorCipher {
+        self.with_backend(if on {
+            CryptoBackend::Reference
+        } else {
+            CryptoBackend::Auto
+        })
     }
 
     /// Whether this cipher runs the retained reference path. Layers that
@@ -68,6 +81,12 @@ impl SectorCipher {
     /// keeps its honest byte-oriented cost.
     pub fn reference_mode(&self) -> bool {
         self.ctr.is_reference()
+    }
+
+    /// The implementation the underlying cipher resolved to (see
+    /// [`AesCtr::active_backend`]).
+    pub fn active_backend(&self) -> ActiveBackend {
+        self.ctr.active_backend()
     }
 
     /// The ESSIV-flavoured IV binding `sector` to this cipher's key: the

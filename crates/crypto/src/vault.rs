@@ -12,6 +12,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use crate::aes::KeySize;
+use crate::backend::CryptoBackend;
 use crate::ctr::AesCtr;
 use crate::sha256::Sha256;
 
@@ -84,9 +85,10 @@ pub struct KeyVault {
     /// re-derived, no matter how many destroy/recreate cycles a unit
     /// goes through.
     generations: HashMap<u64, u64>,
-    /// Build schedules on the reference AES path (bench A/B only; see
-    /// [`AesCtr::with_reference_mode`]).
-    reference: bool,
+    /// The backend every schedule in this vault is expanded under — a
+    /// **construction-time invariant**: the builder asserts no schedule
+    /// exists yet, so a vault can never hold mixed-backend schedules.
+    backend: CryptoBackend,
     /// Bounded keystream cache for repeated same-IV re-reads (zipfian
     /// hot tuples). `0` capacity disables it. See
     /// [`keystream_apply`](KeyVault::keystream_apply).
@@ -107,7 +109,7 @@ impl KeyVault {
             schedules: HashMap::new(),
             states: HashMap::new(),
             generations: HashMap::new(),
-            reference: false,
+            backend: CryptoBackend::Auto,
             ks_cache: HashMap::new(),
             ks_order: VecDeque::new(),
             ks_capacity: 0,
@@ -122,12 +124,41 @@ impl KeyVault {
         self
     }
 
-    /// Expand all future schedules on the retained reference AES path —
-    /// per-vault, so one bench engine's A/B cannot reroute any other
-    /// engine in the process. Derived key *material* is unchanged.
-    pub fn with_reference_mode(mut self, on: bool) -> KeyVault {
-        self.reference = on;
+    /// Expand every schedule in this vault under `backend` — per-vault,
+    /// so one bench engine's A/B cannot reroute any other engine in the
+    /// process. Derived key *material* is unchanged (the backends are
+    /// byte-identical); only expansion and round implementation differ.
+    ///
+    /// Must be called before any key materialises: the backend is a
+    /// construction-time invariant, so a vault can never hold schedules
+    /// expanded by different backends.
+    ///
+    /// # Panics
+    /// Panics if any schedule has already been expanded.
+    pub fn with_backend(mut self, backend: CryptoBackend) -> KeyVault {
+        assert!(
+            self.schedules.is_empty(),
+            "KeyVault backend is a construction-time invariant: set it \
+             before the first ensure_key, not after schedules exist"
+        );
+        self.backend = backend;
         self
+    }
+
+    /// Back-compat shim: `true` is [`CryptoBackend::Reference`], `false`
+    /// the default [`CryptoBackend::Auto`]. Prefer
+    /// [`with_backend`](KeyVault::with_backend).
+    pub fn with_reference_mode(self, on: bool) -> KeyVault {
+        self.with_backend(if on {
+            CryptoBackend::Reference
+        } else {
+            CryptoBackend::Auto
+        })
+    }
+
+    /// The backend this vault expands schedules under.
+    pub fn backend(&self) -> CryptoBackend {
+        self.backend
     }
 
     /// The configured key size.
@@ -147,7 +178,7 @@ impl KeyVault {
             let key = Self::derive_raw(&self.master, self.size, unit, generation);
             self.schedules.insert(
                 unit,
-                Arc::new(AesCtr::from_key(self.size, &key).with_reference_mode(self.reference)),
+                Arc::new(AesCtr::from_key(self.size, &key).with_backend(self.backend)),
             );
             self.keys.insert(unit, key);
         }
@@ -182,7 +213,18 @@ impl KeyVault {
     /// threads: the handle is `Send + Sync`).
     pub fn cipher(&self, unit: u64) -> Result<Arc<AesCtr>, VaultError> {
         match self.schedules.get(&unit) {
-            Some(c) => Ok(Arc::clone(c)),
+            Some(c) => {
+                // The construction-time invariant makes a mismatch
+                // unreachable; the assertion guards against future
+                // refactors reintroducing post-construction rerouting
+                // (mixed-backend streams are a silent perf lie).
+                debug_assert_eq!(
+                    c.active_backend(),
+                    self.backend.resolve(),
+                    "cached schedule was built by a different backend"
+                );
+                Ok(Arc::clone(c))
+            }
             None => Err(VaultError::KeyUnavailable(unit)),
         }
     }
@@ -214,7 +256,14 @@ impl KeyVault {
             return Ok(false);
         }
         let cipher = match self.schedules.get(&unit) {
-            Some(c) => Arc::clone(c),
+            Some(c) => {
+                debug_assert_eq!(
+                    c.active_backend(),
+                    self.backend.resolve(),
+                    "cached schedule was built by a different backend"
+                );
+                Arc::clone(c)
+            }
             None => return Err(VaultError::KeyUnavailable(unit)),
         };
         let generation = self.generations.get(&unit).copied().unwrap_or(0);
@@ -529,6 +578,53 @@ mod tests {
             .unwrap();
         v.cipher(1).unwrap().apply(AesCtr::iv_from_nonce(1), &mut b);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn backend_is_a_construction_time_invariant() {
+        // Setting the backend before any key exists is fine…
+        let mut v = KeyVault::new(b"m", KeySize::Aes128).with_backend(CryptoBackend::Software);
+        assert_eq!(v.backend(), CryptoBackend::Software);
+        v.ensure_key(1);
+        assert_eq!(
+            v.cipher(1).unwrap().active_backend(),
+            CryptoBackend::Software.resolve()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "construction-time invariant")]
+    fn backend_change_after_first_key_is_impossible() {
+        let mut v = KeyVault::new(b"m", KeySize::Aes128);
+        v.ensure_key(1);
+        // A schedule exists: rerouting now would silently mix backends.
+        let _ = v.with_backend(CryptoBackend::Reference);
+    }
+
+    #[test]
+    #[should_panic(expected = "construction-time invariant")]
+    fn reference_shim_after_first_key_is_impossible_too() {
+        let mut v = KeyVault::new(b"m", KeySize::Aes128);
+        v.ensure_key(1);
+        let _ = v.with_reference_mode(true);
+    }
+
+    #[test]
+    fn all_backends_derive_identical_key_material() {
+        for backend in [
+            CryptoBackend::Auto,
+            CryptoBackend::Software,
+            CryptoBackend::Hardware,
+            CryptoBackend::Reference,
+        ] {
+            let mut v = KeyVault::new(b"master", KeySize::Aes256).with_backend(backend);
+            let mut base = KeyVault::new(b"master", KeySize::Aes256);
+            assert_eq!(
+                v.ensure_key(3),
+                base.ensure_key(3),
+                "backend {backend} changed derived key material"
+            );
+        }
     }
 
     #[test]

@@ -175,13 +175,13 @@ impl CompliantDb {
             )),
             ProfileKind::PSys => Box::new(
                 EncryptedLogger::new(b"audit-key", clock.clone(), meter.clone())
-                    .with_reference_crypto(config.reference_crypto),
+                    .with_crypto_backend(config.crypto_backend),
             ),
         };
 
         let vault = config.tuple_encryption.map(|size| {
             KeyVault::new(b"engine-master-secret", size)
-                .with_reference_mode(config.reference_crypto)
+                .with_backend(config.crypto_backend)
                 .with_keystream_cache(config.keystream_cache)
         });
 
@@ -189,7 +189,7 @@ impl CompliantDb {
         let backend: Box<dyn StorageBackend> = match config.backend {
             BackendKind::Heap => {
                 let mut heap = config.heap.clone();
-                heap.reference_crypto = config.reference_crypto;
+                heap.crypto_backend = config.crypto_backend;
                 Box::new(HeapDb::new(heap, clock.clone(), meter.clone()))
             }
             BackendKind::Lsm => Box::new(LsmBackend::new(

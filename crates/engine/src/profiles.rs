@@ -6,6 +6,7 @@
 //! compliant engine composes over.
 
 use datacase_crypto::aes::KeySize;
+use datacase_crypto::CryptoBackend;
 use datacase_storage::backend::BackendKind;
 use datacase_storage::heap::HeapConfig;
 use datacase_storage::lsm::LsmConfig;
@@ -135,13 +136,16 @@ pub struct EngineConfig {
     /// T-table path finishes faster than the workers could be spawned.
     /// Lower it (tests use `0`) to force the threaded path.
     pub pipeline_fanout_bytes: usize,
-    /// Run every AES path this engine constructs (tuple vault, sector
-    /// cipher, encrypted audit log) on the retained byte-oriented
-    /// reference implementation — the "before" series of the crypto A/B.
-    /// Scoped to this engine instance: flipping it for one bench engine
-    /// cannot reroute concurrent engines (or shards) in the same process.
-    /// Ciphertext is byte-identical either way; only wall-clock changes.
-    pub reference_crypto: bool,
+    /// Which AES implementation every crypto path this engine constructs
+    /// (tuple vault, sector cipher, encrypted audit log) runs on:
+    /// [`CryptoBackend::Auto`] (the default) detects hardware AES-NI and
+    /// falls back to the software T-table path; `Software`/`Hardware`/
+    /// `Reference` force a series for the crypto A/B. Scoped to this
+    /// engine instance: selecting a backend for one bench engine cannot
+    /// reroute concurrent engines (or shards) in the same process.
+    /// Ciphertext is byte-identical across backends; only wall-clock
+    /// changes.
+    pub crypto_backend: CryptoBackend,
     /// Capacity (entries) of the [`KeyVault`] keystream cache; `0`
     /// disables it. A hit serves a hot tuple's CTR keystream from memory
     /// and collapses the host-side decrypt to a XOR — simulated AES cost
@@ -183,7 +187,7 @@ impl EngineConfig {
             pipeline: true,
             pipeline_workers: 0,
             pipeline_fanout_bytes: DEFAULT_FANOUT_BYTES,
-            reference_crypto: false,
+            crypto_backend: CryptoBackend::Auto,
             keystream_cache: 0,
         }
     }
@@ -207,7 +211,7 @@ impl EngineConfig {
             pipeline: true,
             pipeline_workers: 0,
             pipeline_fanout_bytes: DEFAULT_FANOUT_BYTES,
-            reference_crypto: false,
+            crypto_backend: CryptoBackend::Auto,
             keystream_cache: 0,
         }
     }
@@ -234,7 +238,7 @@ impl EngineConfig {
             pipeline: true,
             pipeline_workers: 0,
             pipeline_fanout_bytes: DEFAULT_FANOUT_BYTES,
-            reference_crypto: false,
+            crypto_backend: CryptoBackend::Auto,
             keystream_cache: 0,
         }
     }
@@ -258,7 +262,7 @@ impl EngineConfig {
             pipeline: true,
             pipeline_workers: 0,
             pipeline_fanout_bytes: DEFAULT_FANOUT_BYTES,
-            reference_crypto: false,
+            crypto_backend: CryptoBackend::Auto,
             keystream_cache: 0,
         }
     }
@@ -302,12 +306,23 @@ impl EngineConfig {
         self
     }
 
-    /// The same configuration with every AES path forced onto (or off)
-    /// the retained reference implementation — the per-engine switch the
-    /// crypto A/B harness flips. See [`EngineConfig::reference_crypto`].
-    pub fn with_reference_crypto(mut self, on: bool) -> EngineConfig {
-        self.reference_crypto = on;
+    /// The same configuration with every AES path this engine constructs
+    /// routed through `backend` — the per-engine selector the crypto A/B
+    /// harness sets. See [`EngineConfig::crypto_backend`].
+    pub fn with_crypto_backend(mut self, backend: CryptoBackend) -> EngineConfig {
+        self.crypto_backend = backend;
         self
+    }
+
+    /// Back-compat shim: `true` is [`CryptoBackend::Reference`], `false`
+    /// the default [`CryptoBackend::Auto`]. Prefer
+    /// [`with_crypto_backend`](EngineConfig::with_crypto_backend).
+    pub fn with_reference_crypto(self, on: bool) -> EngineConfig {
+        self.with_crypto_backend(if on {
+            CryptoBackend::Reference
+        } else {
+            CryptoBackend::Auto
+        })
     }
 
     /// Is data encrypted at rest under this configuration? Per-tuple

@@ -185,7 +185,12 @@ fn serve_connection(
             token,
             actor,
         } => match registry.get(&tenant) {
-            Some(reg) if reg.token == token => (reg.id, actor),
+            // Constant-time token check: an early-exit `==` on the shared
+            // secret would let a remote peer walk the token byte by byte
+            // off response timing.
+            Some(reg) if datacase_crypto::ct_eq(reg.token.as_bytes(), token.as_bytes()) => {
+                (reg.id, actor)
+            }
             _ => {
                 let _ = write_frame(
                     &mut stream,
@@ -473,6 +478,32 @@ mod tests {
         let err =
             Client::connect(server.addr(), "ghost", "topsecret", Actor::Controller).unwrap_err();
         assert!(matches!(err, WireError::Protocol(ref s) if s.contains("unauthorized")));
+        server.shutdown();
+    }
+
+    #[test]
+    fn handshake_token_check_is_constant_time_and_exact() {
+        // The gateway compares tokens with datacase_crypto::ct_eq. Near
+        // misses that an early-exit `==` would also reject — but after
+        // leaking how far the prefix matched — must fail, and only the
+        // exact token must pass.
+        let server = Server::spawn(
+            EngineConfig::p_base(),
+            2,
+            &[TenantSpec::new("acme", "topsecret")],
+        );
+        for near_miss in ["topsecreT", "topsecre", "topsecret0", "Topsecret", ""] {
+            let err =
+                Client::connect(server.addr(), "acme", near_miss, Actor::Controller).unwrap_err();
+            assert!(
+                matches!(err, WireError::Protocol(ref s) if s.contains("unauthorized")),
+                "token {near_miss:?} must be rejected"
+            );
+        }
+        Client::connect(server.addr(), "acme", "topsecret", Actor::Controller)
+            .expect("exact token authenticates")
+            .goodbye()
+            .unwrap();
         server.shutdown();
     }
 

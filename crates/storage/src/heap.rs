@@ -17,6 +17,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use datacase_crypto::sector::SectorCipher;
+use datacase_crypto::CryptoBackend;
 use datacase_sim::{Meter, SimClock};
 
 use crate::btree::BTreeIndex;
@@ -38,17 +39,18 @@ pub struct HeapConfig {
     pub disk_passphrase: Option<Vec<u8>>,
     /// fsync the WAL at every statement commit.
     pub fsync_per_commit: bool,
-    /// Run the sector cipher on the retained reference AES path
-    /// (per-instance bench A/B; ciphertext bytes are unchanged).
-    pub reference_crypto: bool,
+    /// Which AES implementation the sector cipher runs
+    /// ([`CryptoBackend::Auto`] detects hardware AES at construction;
+    /// per-instance bench A/B; ciphertext bytes are unchanged).
+    pub crypto_backend: CryptoBackend,
     /// Capacity (pages) of the disk's sector-keystream cache; `0`
     /// disables it. A sector's CTR keystream is a pure function of the
     /// disk key and the sector number, so cached streams never go stale
     /// and hold no sector content — hot pages cross the cipher as a XOR
     /// while ciphertext bytes, remanence ghosts, and all simulated
     /// charges stay bit-identical. Ignored (bypassed) when
-    /// [`reference_crypto`](HeapConfig::reference_crypto) is on, so A/B
-    /// baselines keep their honest cost.
+    /// [`crypto_backend`](HeapConfig::crypto_backend) resolves to the
+    /// reference path, so A/B baselines keep their honest cost.
     pub sector_keystream_pages: usize,
 }
 
@@ -58,7 +60,7 @@ impl Default for HeapConfig {
             buffer_pages: 256,
             disk_passphrase: None,
             fsync_per_commit: true,
-            reference_crypto: false,
+            crypto_backend: CryptoBackend::Auto,
             sector_keystream_pages: 4096,
         }
     }
@@ -151,7 +153,7 @@ impl HeapDb {
                 clock.clone(),
                 meter.clone(),
                 SectorCipher::from_passphrase(pass, datacase_crypto::aes::KeySize::Aes256)
-                    .with_reference_mode(config.reference_crypto),
+                    .with_backend(config.crypto_backend),
             )
             .with_keystream_cache(config.sector_keystream_pages),
             None => Disk::new(clock.clone(), meter.clone()),

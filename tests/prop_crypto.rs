@@ -11,13 +11,34 @@
 //! gate") instead of silently corrupting ciphertexts. The FIPS/NIST known
 //! vectors live next to the implementations in `crates/crypto`.
 
+//! PR 9 extends the gate across the **backend cross-product**: every
+//! property also pins hardware (AES-NI, when the host has it) ≡ software
+//! ≡ reference under the `CryptoBackend` selector — the `backend_`-named
+//! properties below are CI's "HW-crypto equivalence gate". A forced
+//! `Software` run keeps the dispatch path covered on hosts without
+//! AES-NI, where `Hardware` resolves to the same software stream.
+
 use proptest::prelude::*;
 
 use data_case::crypto::aes::{Aes, KeySize};
 use data_case::crypto::ctr::AesCtr;
 use data_case::crypto::sector::SectorCipher;
+use data_case::crypto::vault::KeyVault;
+use data_case::crypto::{aesni, ActiveBackend, CryptoBackend};
 
 const ALL_SIZES: [KeySize; 3] = [KeySize::Aes128, KeySize::Aes192, KeySize::Aes256];
+
+/// The full selector cross-product every `backend_` property runs:
+/// `Hardware` resolves to AES-NI exactly on capable hosts (elsewhere it
+/// is a second software run — the forced-fallback coverage the CI gate
+/// wants), `Software` forces the T-table path everywhere, and
+/// `Reference` is the byte-oriented oracle.
+const ALL_BACKENDS: [CryptoBackend; 4] = [
+    CryptoBackend::Auto,
+    CryptoBackend::Software,
+    CryptoBackend::Hardware,
+    CryptoBackend::Reference,
+];
 
 proptest! {
     /// Block level: T-table encrypt/decrypt ≡ reference rounds, and the
@@ -123,5 +144,172 @@ proptest! {
             sc.apply_ref(sector, &mut slow);
             prop_assert_eq!(&fast, &slow, "{:?} sector cipher diverged", size);
         }
+    }
+
+    // ---- HW-crypto equivalence gate: the backend cross-product ----
+
+    /// Block level across backends: the AES-NI rounds (when the host has
+    /// them) must agree with the T-table rounds on encrypt *and* the
+    /// equivalent-inverse-cipher decrypt, for all three key sizes.
+    #[test]
+    fn backend_block_paths_agree(key in proptest::collection::vec(0u8..=255, 32),
+                                 pt in proptest::collection::vec(0u8..=255, 16)) {
+        let block: [u8; 16] = pt.try_into().unwrap();
+        for size in ALL_SIZES {
+            let sw = Aes::new(size, &key[..size.key_len()]);
+            let mut expect = block;
+            sw.encrypt_block(&mut expect);
+            if let Some(hw) = aesni::AesNi::new(size, &key[..size.key_len()]) {
+                let mut got = block;
+                hw.encrypt_block(&mut got);
+                prop_assert_eq!(got, expect, "{:?} hw encrypt diverged", size);
+                hw.decrypt_block(&mut got);
+                prop_assert_eq!(got, block, "{:?} hw decrypt diverged", size);
+            } else {
+                prop_assert!(!CryptoBackend::hardware_available(),
+                             "AesNi::new must only fail without AES-NI");
+            }
+        }
+    }
+
+    /// Stream level across the full selector cross-product: every
+    /// backend's CTR output is pinned to the reference oracle on random
+    /// IVs (counter carries included) and ragged lengths, for all three
+    /// key sizes. `Software` is always a forced run, so dispatch coverage
+    /// survives CI hosts without AES-NI.
+    #[test]
+    fn backend_ctr_cross_product_agrees(key in proptest::collection::vec(0u8..=255, 32),
+                                        iv in proptest::collection::vec(0u8..=255, 16),
+                                        data in proptest::collection::vec(0u8..=255, 0..300)) {
+        let iv: [u8; 16] = iv.try_into().unwrap();
+        for size in ALL_SIZES {
+            let oracle = AesCtr::from_key(size, &key[..size.key_len()]);
+            let mut expect = data.clone();
+            oracle.apply_ref(iv, &mut expect);
+            for backend in ALL_BACKENDS {
+                let ctr = AesCtr::from_key(size, &key[..size.key_len()]).with_backend(backend);
+                let mut got = data.clone();
+                ctr.apply(iv, &mut got);
+                prop_assert_eq!(&got, &expect, "{:?} {} CTR diverged", size, backend);
+                ctr.apply(iv, &mut got);
+                prop_assert_eq!(&got, &data, "{:?} {} involution broken", size, backend);
+            }
+        }
+    }
+
+    /// Offset entry across backends: nonzero `apply_at` block offsets —
+    /// crossing the hardware 8-wide loop, its scalar remainder, and the
+    /// partial tail — must equal skipping the same prefix of a reference
+    /// stream, for every backend and key size.
+    #[test]
+    fn backend_offset_keystream_cross_product(
+        key in proptest::collection::vec(0u8..=255, 32),
+        iv in proptest::collection::vec(0u8..=255, 16),
+        start_block in 1u64..40,
+        data in proptest::collection::vec(0u8..=255, 0..300),
+    ) {
+        let iv: [u8; 16] = iv.try_into().unwrap();
+        for size in ALL_SIZES {
+            let prefix = start_block as usize * 16;
+            let oracle = AesCtr::from_key(size, &key[..size.key_len()]);
+            let mut whole = vec![0u8; prefix];
+            whole.extend_from_slice(&data);
+            oracle.apply_ref(iv, &mut whole);
+            for backend in ALL_BACKENDS {
+                let ctr = AesCtr::from_key(size, &key[..size.key_len()]).with_backend(backend);
+                let mut got = data.clone();
+                ctr.apply_at(iv, start_block, &mut got);
+                prop_assert_eq!(&got, &whole[prefix..],
+                                "{:?} {} offset keystream diverged", size, backend);
+                ctr.apply_at(iv, start_block, &mut got);
+                prop_assert_eq!(&got, &data, "{:?} {} offset involution broken", size, backend);
+            }
+        }
+    }
+
+    /// Sector level across backends: the ESSIV IV binding and the page
+    /// fast path agree with the reference twin under every selector.
+    #[test]
+    fn backend_sector_cross_product(pass in proptest::collection::vec(0u8..=255, 1..24),
+                                    sector in any::<u64>(),
+                                    data in proptest::collection::vec(0u8..=255, 0..300)) {
+        for size in ALL_SIZES {
+            let oracle = SectorCipher::from_passphrase(&pass, size);
+            let mut expect = data.clone();
+            oracle.apply_ref(sector, &mut expect);
+            for backend in ALL_BACKENDS {
+                let sc = SectorCipher::from_passphrase(&pass, size).with_backend(backend);
+                let mut got = data.clone();
+                sc.apply(sector, &mut got);
+                prop_assert_eq!(&got, &expect, "{:?} {} sector cipher diverged", size, backend);
+            }
+        }
+    }
+}
+
+/// Dispatch sanity for the gate: forced selectors resolve to themselves,
+/// `Auto` and `Hardware` track detection, and a constructed cipher
+/// reports the backend it actually runs.
+#[test]
+fn backend_dispatch_resolves_and_reports_consistently() {
+    let hw = CryptoBackend::hardware_available();
+    for backend in ALL_BACKENDS {
+        let ctr = AesCtr::from_key(KeySize::Aes128, &[0x42; 16]).with_backend(backend);
+        let expect = match backend {
+            CryptoBackend::Reference => ActiveBackend::Reference,
+            CryptoBackend::Software => ActiveBackend::Software,
+            CryptoBackend::Auto | CryptoBackend::Hardware => {
+                if hw {
+                    ActiveBackend::Hardware
+                } else {
+                    ActiveBackend::Software
+                }
+            }
+        };
+        assert_eq!(ctr.active_backend(), expect, "{backend} misreported");
+        assert_eq!(ctr.backend(), backend);
+    }
+}
+
+/// Keystream-cache × hardware-backend interaction: a vault's cached
+/// stream must be byte-identical no matter which backend generated it,
+/// a warm hit must serve the same bytes as a cold generate, and
+/// `destroy_key` must purge the cache under every backend (crypto-erasure
+/// is backend-independent).
+#[test]
+fn backend_keystream_cache_interaction() {
+    let unit = 7u64;
+    let iv = AesCtr::iv_from_nonce(unit);
+    let plain: Vec<u8> = (0..100u32).map(|i| i as u8).collect();
+    let mut streams: Vec<Vec<u8>> = Vec::new();
+    for backend in ALL_BACKENDS {
+        let mut vault = KeyVault::new(b"gate-master", KeySize::Aes256)
+            .with_backend(backend)
+            .with_keystream_cache(8);
+        vault.ensure_key(unit);
+        // Cold: generates through `backend` and caches.
+        let mut cold = plain.clone();
+        assert_eq!(vault.keystream_apply(unit, iv, &mut cold), Ok(true));
+        assert_eq!(vault.cached_keystreams(), 1);
+        // Warm: served from cache, byte-identical to the cold pass.
+        let mut warm = plain.clone();
+        assert_eq!(vault.keystream_apply(unit, iv, &mut warm), Ok(true));
+        assert_eq!(warm, cold, "{backend} warm hit diverged from generate");
+        streams.push(cold);
+        // Crypto-erasure purges the cached stream regardless of backend.
+        assert!(vault.destroy_key(unit));
+        assert_eq!(
+            vault.cached_keystreams(),
+            0,
+            "{backend} left keystream behind after destroy_key"
+        );
+        let mut after = plain.clone();
+        assert!(
+            vault.keystream_apply(unit, iv, &mut after).is_err(),
+            "{backend} served a stream for a destroyed key"
+        );
+    }
+    for pair in streams.windows(2) {
+        assert_eq!(pair[0], pair[1], "cached streams differ across backends");
     }
 }
