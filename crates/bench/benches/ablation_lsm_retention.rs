@@ -18,6 +18,7 @@ fn bench_lsm_retention(c: &mut Criterion) {
                         LsmConfig {
                             memtable_bytes: 8 * 1024,
                             runs_per_level,
+                            ..LsmConfig::default()
                         },
                         SimClock::commodity(),
                         Arc::new(Meter::new()),

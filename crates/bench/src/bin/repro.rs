@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //! ```text
-//! repro [--quick] [fig1|fig3|fig4a|fig4b|fig4c|table1|table2|backends|pipeline|crypto|mt|server|invariants|ablations|checks|all]
+//! repro [--quick] [fig1|fig3|fig4a|fig4b|fig4c|table1|table2|backends|pipeline|crypto|mt|server|invariants|ablations|checks|chaos|all]
 //! ```
 //!
 //! `pipeline` additionally writes the measured cells to
@@ -16,6 +16,12 @@
 //! `--quick` divides record/transaction counts by 10 (useful for smoke
 //! runs); the default is paper-faithful sizes (100k records, 10k txns,
 //! 10k–70k txn sweep, 100k–500k record sweep).
+//!
+//! `chaos` runs the deterministic chaos matrix (seeded scenarios ×
+//! backends × named crash points, recover-and-compare against a serial
+//! oracle) and exits non-zero if any recovery grounding is breached;
+//! with `--quick` it crashes at the first hit of each reachable point
+//! only.
 
 use datacase_bench::figures::{self, Scale};
 
@@ -131,6 +137,39 @@ fn main() {
         println!("{}", figures::ablation_lsm_retention().render_text());
         println!("{}", figures::ablation_crypto_erasure(scale).render_text());
         println!("{}", figures::ablation_aes_strength(scale).render_text());
+    }
+    if want("chaos") {
+        println!("== Chaos matrix (seed 42, crash → recover → oracle) ==");
+        let report = datacase_chaos::matrix(&datacase_chaos::MatrixOptions { seed: 42, quick });
+        let mut by_cell: std::collections::BTreeMap<String, (usize, usize)> =
+            std::collections::BTreeMap::new();
+        for row in &report.rows {
+            let cell = by_cell
+                .entry(format!("{}/{:?}", row.scenario, row.backend))
+                .or_default();
+            cell.0 += 1;
+            cell.1 += usize::from(row.ok);
+        }
+        for (cell, (runs, ok)) in &by_cell {
+            println!("  [{}] {cell}: {ok}/{runs} crash runs recovered clean", {
+                if ok == runs {
+                    "PASS"
+                } else {
+                    "FAIL"
+                }
+            });
+        }
+        println!(
+            "  {} crash runs across {} scenario/backend cells\n",
+            report.runs(),
+            by_cell.len()
+        );
+        if !report.failures.is_empty() {
+            for failure in &report.failures {
+                println!("  BREACH {failure}");
+            }
+            std::process::exit(1);
+        }
     }
     if want("checks") {
         println!("== Shape checks (paper-claim verification) ==");

@@ -190,13 +190,14 @@ impl CompliantDb {
             BackendKind::Heap => {
                 let mut heap = config.heap.clone();
                 heap.crypto_backend = config.crypto_backend;
+                heap.fault = config.fault.clone();
                 Box::new(HeapDb::new(heap, clock.clone(), meter.clone()))
             }
-            BackendKind::Lsm => Box::new(LsmBackend::new(
-                config.lsm.clone(),
-                clock.clone(),
-                meter.clone(),
-            )),
+            BackendKind::Lsm => {
+                let mut lsm = config.lsm.clone();
+                lsm.fault = config.fault.clone();
+                Box::new(LsmBackend::new(lsm, clock.clone(), meter.clone()))
+            }
         };
 
         let workers = match config.pipeline_workers {

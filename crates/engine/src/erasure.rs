@@ -22,6 +22,7 @@ use datacase_core::history::HistoryTuple;
 use datacase_core::ids::UnitId;
 use datacase_core::purpose::well_known as wk;
 use datacase_core::unit::ErasureStatus;
+use datacase_sim::fault::CrashPoint;
 use datacase_storage::backend::{BackendKind, MaintenanceDepth};
 use datacase_storage::lsm::LsmTree;
 
@@ -124,6 +125,10 @@ pub(crate) fn erase_now(
                 db.logger_mut().redact_unit(d);
             }
             db.backend_mut().sanitize(3);
+            // Chaos tap: crash between purging the unit's rows/logs and
+            // destroying its key — recovery must still converge to zero
+            // residuals under crypto-erasure.
+            db.config().fault.hit(CrashPoint::DestroyKey);
             if let Some(vault) = db.vault_mut() {
                 vault.destroy_key(unit.0);
                 for &d in &descendants {

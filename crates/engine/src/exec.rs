@@ -43,6 +43,7 @@ use datacase_core::ids::EntityId;
 use datacase_core::purpose::PurposeId;
 use datacase_crypto::ctr::AesCtr;
 use datacase_policy::enforcer::{PolicyEpoch, UnitClass, VersionedEnforcer};
+use datacase_sim::fault::CrashPoint;
 use datacase_sim::time::Ts;
 
 use crate::db::CompliantDb;
@@ -467,10 +468,12 @@ pub(crate) fn run_jobs(
 /// workers first — see [`CompliantDb::commit_deferred`] — so the last
 /// serial AES of the account pass is gone.
 fn flush_span(db: &mut CompliantDb, jobs: &mut Vec<CipherJob>) {
+    db.config().fault.hit(CrashPoint::Apply);
     run_jobs(jobs, db.pool(), db.fanout_bytes(), true);
     for job in jobs.drain(..) {
         db.fill_deferred(job.slot, job.data);
     }
+    db.config().fault.hit(CrashPoint::Account);
     db.commit_deferred();
     flush_sector_crypto(db);
 }
@@ -521,6 +524,7 @@ pub(crate) fn execute<T: Borrow<Request>>(
     session: &Session,
     requests: &[T],
 ) -> Vec<Response> {
+    db.config().fault.hit(CrashPoint::Plan);
     let mut responses = Vec::with_capacity(requests.len());
     if !db.config().pipeline {
         for (i, request) in requests.iter().enumerate() {
@@ -591,6 +595,7 @@ pub(crate) fn execute_many(
             })
             .collect();
     }
+    db.config().fault.hit(CrashPoint::Plan);
     // Flatten the burst while remembering each request's origin: plan()
     // sees one stream (spans may straddle submission boundaries), but
     // sessions and reply indices stay per-submission.
@@ -675,6 +680,7 @@ fn run_one(
     index: usize,
     jobs: Option<&mut Vec<CipherJob>>,
 ) -> Response {
+    db.config().fault.hit(CrashPoint::Decide);
     let seq_before = db.log_seq();
     let outcome = if !in_scope(session, request) {
         Err(EngineError::Denied {

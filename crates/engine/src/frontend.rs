@@ -42,6 +42,7 @@ use datacase_core::ids::UnitId;
 use datacase_core::purpose::PurposeId;
 use datacase_core::value::Value;
 use datacase_sim::time::Ts;
+use datacase_storage::backend::DurableSnapshot;
 use datacase_storage::forensic::ForensicFindings;
 use datacase_workloads::opstream::{MetaField, MetaSelector, Op};
 use datacase_workloads::record::GdprMetadata;
@@ -705,6 +706,16 @@ impl Forensic<'_> {
     /// serial runs through this).
     pub fn chain_head(&mut self) -> [u8; 32] {
         self.db.logger_mut().chain_head()
+    }
+
+    /// Salvage the storage substrate's durable state — exactly what
+    /// survives a crash: the heap's WAL records or the LSM's committed
+    /// run manifest. The chaos harness calls this on a wrecked engine
+    /// (after a [`CrashSignal`](datacase_sim::fault::CrashSignal) panic
+    /// was caught) and rebuilds from it via
+    /// [`recover_backend`](datacase_storage::backend::recover_backend).
+    pub fn durable_snapshot(&mut self) -> DurableSnapshot {
+        self.db.backend_mut().durable_snapshot()
     }
 }
 

@@ -7,6 +7,7 @@
 
 use datacase_crypto::aes::KeySize;
 use datacase_crypto::CryptoBackend;
+use datacase_sim::fault::FaultInjector;
 use datacase_storage::backend::BackendKind;
 use datacase_storage::heap::HeapConfig;
 use datacase_storage::lsm::LsmConfig;
@@ -159,6 +160,13 @@ pub struct EngineConfig {
     /// [`KeyVault`]: datacase_crypto::vault::KeyVault
     /// [`KeyVault::destroy_key`]: datacase_crypto::vault::KeyVault::destroy_key
     pub keystream_cache: usize,
+    /// Deterministic crash-injection plane (chaos harness). Disabled by
+    /// default — every tap is a no-op branch on a `None`. When armed via
+    /// [`EngineConfig::with_fault`], the engine panics with a
+    /// [`datacase_sim::fault::CrashSignal`] at the chosen
+    /// [`datacase_sim::fault::CrashPoint`]; the chaos runner catches it,
+    /// salvages the durable storage snapshot, and rebuilds.
+    pub fault: FaultInjector,
 }
 
 /// Default [`EngineConfig::pipeline_fanout_bytes`]: ~200 µs of AES at
@@ -189,6 +197,7 @@ impl EngineConfig {
             pipeline_fanout_bytes: DEFAULT_FANOUT_BYTES,
             crypto_backend: CryptoBackend::Auto,
             keystream_cache: 0,
+            fault: FaultInjector::disabled(),
         }
     }
 
@@ -213,6 +222,7 @@ impl EngineConfig {
             pipeline_fanout_bytes: DEFAULT_FANOUT_BYTES,
             crypto_backend: CryptoBackend::Auto,
             keystream_cache: 0,
+            fault: FaultInjector::disabled(),
         }
     }
 
@@ -240,6 +250,7 @@ impl EngineConfig {
             pipeline_fanout_bytes: DEFAULT_FANOUT_BYTES,
             crypto_backend: CryptoBackend::Auto,
             keystream_cache: 0,
+            fault: FaultInjector::disabled(),
         }
     }
 
@@ -264,6 +275,7 @@ impl EngineConfig {
             pipeline_fanout_bytes: DEFAULT_FANOUT_BYTES,
             crypto_backend: CryptoBackend::Auto,
             keystream_cache: 0,
+            fault: FaultInjector::disabled(),
         }
     }
 
@@ -303,6 +315,16 @@ impl EngineConfig {
     /// contract, only wall-clock time differs).
     pub fn with_pipeline(mut self, pipeline: bool) -> EngineConfig {
         self.pipeline = pipeline;
+        self
+    }
+
+    /// The same configuration with the crash-injection plane set. The
+    /// chaos harness arms one [`CrashPoint`](datacase_sim::fault::CrashPoint)
+    /// per run; the injector is shared (Arc) with the storage configs at
+    /// engine construction so storage-level taps (`wal-append`,
+    /// `compaction`, …) fire from the same plane as engine-level taps.
+    pub fn with_fault(mut self, fault: FaultInjector) -> EngineConfig {
+        self.fault = fault;
         self
     }
 

@@ -23,13 +23,25 @@
 //!    [`compliance_report`](datacase_engine::frontend::Frontend::compliance_report)
 //!    checks the `TenantIsolation` invariant (X) over the final state,
 //!    history, and audit records.
+//!
+//! ## Resource protection
+//!
+//! Every connection is served under [`GatewayLimits`]: a whole-frame
+//! read deadline (a slow-loris client dribbling bytes cannot hold a
+//! thread past it), a write timeout (a client that stops draining its
+//! socket cannot park a reply), and a server-wide bound on concurrently
+//! executing batches (past it the gateway load-sheds with an
+//! `overloaded` protocol error instead of queueing). All refusals are
+//! typed [`WireError`]s or [`Frame::ProtocolError`] replies — a hostile
+//! client can never panic the gateway.
 
 use std::collections::HashMap;
-use std::io::Write;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use datacase_core::tenant::TenantId;
 use datacase_engine::concurrent::{ConcurrentEngine, EngineHandle};
@@ -67,6 +79,130 @@ struct Registered {
     token: String,
 }
 
+/// Resource-protection limits for served connections. Every limit is
+/// enforced with a typed [`WireError`] or a [`Frame::ProtocolError`] —
+/// never a panic — so a hostile or broken client can only ever cost the
+/// gateway one bounded connection.
+#[derive(Clone, Copy, Debug)]
+pub struct GatewayLimits {
+    /// Whole-frame read deadline. The clock starts when the gateway
+    /// begins waiting for a frame and covers every byte of it, so a
+    /// slow-loris client dribbling one byte per almost-timeout still
+    /// trips it: the *frame* must finish inside the window, not each
+    /// read. Also bounds shutdown — an idle connection unblocks within
+    /// one deadline of the listener stopping.
+    pub read_timeout: Duration,
+    /// Per-write timeout on replies; a client that stops draining its
+    /// socket loses the connection instead of parking the thread.
+    pub write_timeout: Duration,
+    /// Server-wide bound on concurrently executing [`Frame::Batch`]es.
+    /// Past it the gateway answers `overloaded` instead of queueing —
+    /// the refusal is non-fatal and the client may retry on the same
+    /// connection.
+    pub max_in_flight_frames: usize,
+}
+
+impl Default for GatewayLimits {
+    fn default() -> GatewayLimits {
+        GatewayLimits {
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            max_in_flight_frames: 1024,
+        }
+    }
+}
+
+/// Server-wide count of batches currently executing in the engine.
+/// Admission is try-acquire: past the bound the batch is refused, never
+/// queued, so the gate cannot itself become a place to park threads.
+struct InFlightGate {
+    max: usize,
+    in_flight: Mutex<usize>,
+}
+
+impl InFlightGate {
+    fn new(max: usize) -> Arc<InFlightGate> {
+        Arc::new(InFlightGate {
+            max,
+            in_flight: Mutex::new(0),
+        })
+    }
+
+    fn try_acquire(self: &Arc<InFlightGate>) -> Option<InFlightPermit> {
+        let mut n = self.in_flight.lock().expect("in-flight gate");
+        if *n >= self.max {
+            return None;
+        }
+        *n += 1;
+        Some(InFlightPermit {
+            gate: Arc::clone(self),
+        })
+    }
+}
+
+/// One admitted batch; releases its slot on drop (including on the
+/// error paths out of the serve loop).
+struct InFlightPermit {
+    gate: Arc<InFlightGate>,
+}
+
+impl Drop for InFlightPermit {
+    fn drop(&mut self) {
+        *self.gate.in_flight.lock().expect("in-flight gate") -= 1;
+    }
+}
+
+/// A [`Read`] adapter holding the whole read to one fixed deadline: each
+/// underlying read gets only the *remaining* window via
+/// `set_read_timeout`, so the total wait is bounded no matter how many
+/// one-byte instalments the peer sends.
+struct DeadlineStream<'a> {
+    stream: &'a TcpStream,
+    deadline: Instant,
+    timed_out: bool,
+}
+
+impl Read for DeadlineStream<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let now = Instant::now();
+        if now >= self.deadline {
+            self.timed_out = true;
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "frame read deadline exceeded",
+            ));
+        }
+        self.stream.set_read_timeout(Some(self.deadline - now))?;
+        match (&mut &*self.stream).read(buf) {
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                ) =>
+            {
+                self.timed_out = true;
+                Err(e)
+            }
+            other => other,
+        }
+    }
+}
+
+/// Read one raw frame with the whole frame held to `timeout`. Deadline
+/// expiry surfaces as the typed [`WireError::Timeout`] instead of a
+/// generic transport error.
+fn read_frame_deadline(stream: &TcpStream, timeout: Duration) -> Result<(u8, Vec<u8>), WireError> {
+    let mut guarded = DeadlineStream {
+        stream,
+        deadline: Instant::now() + timeout,
+        timed_out: false,
+    };
+    match read_frame_raw(&mut guarded) {
+        Err(WireError::Io(_)) if guarded.timed_out => Err(WireError::Timeout),
+        other => other,
+    }
+}
+
 /// The running gateway: accept loop + one thread per connection, all
 /// feeding cloneable [`EngineHandle`]s of one shared engine.
 pub struct Server {
@@ -79,9 +215,20 @@ pub struct Server {
 
 impl Server {
     /// Bind a loopback listener, spin up `shards` engine shards of
-    /// `config`, and start serving the given tenants. Returns once the
-    /// listener is accepting.
+    /// `config`, and start serving the given tenants under
+    /// [`GatewayLimits::default`]. Returns once the listener is
+    /// accepting.
     pub fn spawn(config: EngineConfig, shards: usize, tenants: &[TenantSpec]) -> Server {
+        Server::spawn_with_limits(config, shards, tenants, GatewayLimits::default())
+    }
+
+    /// [`Server::spawn`] with explicit connection-protection limits.
+    pub fn spawn_with_limits(
+        config: EngineConfig,
+        shards: usize,
+        tenants: &[TenantSpec],
+        limits: GatewayLimits,
+    ) -> Server {
         let engine = ConcurrentEngine::new(config, shards);
         let mut registry: HashMap<String, Registered> = HashMap::new();
         for (i, spec) in tenants.iter().enumerate() {
@@ -98,6 +245,7 @@ impl Server {
         let addr = listener.local_addr().expect("listener address");
         let stop = Arc::new(AtomicBool::new(false));
         let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let gate = InFlightGate::new(limits.max_in_flight_frames);
         let accept = {
             let stop = Arc::clone(&stop);
             let connections = Arc::clone(&connections);
@@ -113,9 +261,12 @@ impl Server {
                         let Ok(stream) = stream else { continue };
                         let registry = Arc::clone(&registry);
                         let handle = handle.clone();
+                        let gate = Arc::clone(&gate);
                         let conn = std::thread::Builder::new()
                             .name("datacase-conn".into())
-                            .spawn(move || serve_connection(stream, &registry, handle, shards))
+                            .spawn(move || {
+                                serve_connection(stream, &registry, handle, shards, limits, &gate)
+                            })
                             .expect("spawn connection thread");
                         connections.lock().expect("connection list").push(conn);
                     }
@@ -144,8 +295,9 @@ impl Server {
     }
 
     /// Graceful shutdown: stop accepting, drain every in-flight
-    /// connection (each is served until its client closes or says
-    /// goodbye), then drain and join the engine's shard workers. Returns
+    /// connection (each is served until its client closes, says goodbye,
+    /// or sits idle past the read deadline — an idle client cannot pin
+    /// shutdown), then drain and join the engine's shard workers. Returns
     /// the per-shard [`Frontend`]s for forensics, chain verification, and
     /// compliance checks.
     pub fn shutdown(mut self) -> Vec<Frontend> {
@@ -163,19 +315,26 @@ impl Server {
     }
 }
 
-/// Serve one authenticated connection until EOF, goodbye, or a fatal
-/// protocol error. Never panics on malformed input: payload-level decode
-/// failures are answered with [`Frame::ProtocolError`] and the stream
-/// continues at the next frame boundary.
+/// Serve one authenticated connection until EOF, goodbye, a fatal
+/// protocol error, or a blown [`GatewayLimits`] deadline. Never panics
+/// on malformed input: payload-level decode failures are answered with
+/// [`Frame::ProtocolError`] and the stream continues at the next frame
+/// boundary; deadline and overload refusals are typed, and only the
+/// deadline one closes the connection.
 fn serve_connection(
     mut stream: TcpStream,
     registry: &HashMap<String, Registered>,
     handle: EngineHandle,
     shards: u16,
+    limits: GatewayLimits,
+    gate: &Arc<InFlightGate>,
 ) {
     stream.set_nodelay(true).ok();
+    stream.set_write_timeout(Some(limits.write_timeout)).ok();
     // --- Handshake ---
-    let hello = match read_decoded(&mut stream) {
+    let hello = match read_frame_deadline(&stream, limits.read_timeout)
+        .and_then(|(frame_type, payload)| Frame::decode(frame_type, &payload))
+    {
         Ok(frame) => frame,
         Err(_) => return,
     };
@@ -227,7 +386,7 @@ fn serve_connection(
     // --- Serve batches ---
     let session = Session::new(actor).scoped(tenant.key_range());
     loop {
-        let frame = match read_frame_raw(&mut stream) {
+        let frame = match read_frame_deadline(&stream, limits.read_timeout) {
             Ok((frame_type, payload)) => match Frame::decode(frame_type, &payload) {
                 Ok(frame) => frame,
                 Err(err) if !err.is_fatal() => {
@@ -243,11 +402,34 @@ fn serve_connection(
                     return;
                 }
             },
+            // A blown deadline is reported (best effort — the write is
+            // itself bounded) before the connection closes, so an honest
+            // but stalled client learns why it was dropped.
+            Err(err @ WireError::Timeout) => {
+                let _ = reply_protocol_error(&mut stream, &err);
+                return;
+            }
             // EOF and header-level corruption both end the connection.
             Err(_) => return,
         };
         match frame {
             Frame::Batch(local) => {
+                let Some(_permit) = gate.try_acquire() else {
+                    // Load-shed instead of queueing: the refusal is
+                    // non-fatal and the client may retry on this same
+                    // connection.
+                    let refusal = Frame::ProtocolError {
+                        code: "overloaded".into(),
+                        detail: format!(
+                            "gateway at its in-flight batch bound ({}); retry",
+                            gate.max
+                        ),
+                    };
+                    if write_frame(&mut stream, &refusal).is_err() {
+                        return;
+                    }
+                    continue;
+                };
                 let global = match namespace_batch(tenant, &local) {
                     Ok(global) => global,
                     Err(detail) => {
@@ -516,6 +698,127 @@ mod tests {
         assert!(namespace_batch(t, &[over_key]).is_err());
         let ok = namespace_batch(t, &[Request::Read { key: 7 }]).unwrap();
         assert_eq!(ok, vec![Request::Read { key: (1 << 32) | 7 }]);
+    }
+
+    #[test]
+    fn overload_gate_load_sheds_and_the_connection_survives() {
+        // A zero in-flight bound refuses every batch — deterministically,
+        // with no concurrency needed — and the refusal must be non-fatal.
+        let server = Server::spawn_with_limits(
+            EngineConfig::p_base(),
+            2,
+            &[TenantSpec::new("acme", "topsecret")],
+            GatewayLimits {
+                max_in_flight_frames: 0,
+                ..GatewayLimits::default()
+            },
+        );
+        let mut client =
+            Client::connect(server.addr(), "acme", "topsecret", Actor::Controller).unwrap();
+        for _ in 0..2 {
+            let err = client.call(&[Request::Read { key: 1 }]).unwrap_err();
+            assert!(
+                matches!(err, WireError::Protocol(ref s) if s.contains("overloaded")),
+                "expected an overloaded refusal, got {err:?}"
+            );
+        }
+        // The connection stayed usable through both refusals.
+        client.goodbye().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn in_flight_permits_are_released_between_batches() {
+        // With a bound of one, sequential batches must all be admitted:
+        // each permit is returned when its batch finishes.
+        let server = Server::spawn_with_limits(
+            EngineConfig::p_base(),
+            2,
+            &[TenantSpec::new("acme", "topsecret")],
+            GatewayLimits {
+                max_in_flight_frames: 1,
+                ..GatewayLimits::default()
+            },
+        );
+        let mut client =
+            Client::connect(server.addr(), "acme", "topsecret", Actor::Controller).unwrap();
+        for _ in 0..3 {
+            client
+                .call(&[Request::Read { key: 1 }])
+                .expect("admitted batch");
+        }
+        client.goodbye().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn slow_loris_is_disconnected_at_the_frame_deadline() {
+        let server = Server::spawn_with_limits(
+            EngineConfig::p_base(),
+            2,
+            &[TenantSpec::new("acme", "topsecret")],
+            GatewayLimits {
+                read_timeout: Duration::from_millis(200),
+                ..GatewayLimits::default()
+            },
+        );
+        // A connection that never even finishes its handshake is cut.
+        let mut silent = TcpStream::connect(server.addr()).unwrap();
+        silent
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut buf = [0u8; 1];
+        assert_eq!(silent.read(&mut buf).unwrap_or(0), 0, "expected EOF");
+        // An authenticated connection that stalls mid-frame is answered
+        // with a typed timeout and then cut — the deadline covers the
+        // whole frame, so a partial header held open cannot pin a thread.
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let hello = Frame::Hello {
+            tenant: "acme".into(),
+            token: "topsecret".into(),
+            actor: Actor::Controller,
+        };
+        stream.write_all(&hello.encode()).unwrap();
+        assert!(matches!(
+            crate::wire::read_frame(&mut stream).unwrap(),
+            Frame::Welcome { .. }
+        ));
+        let batch = Frame::Batch(vec![Request::Read { key: 1 }]).encode();
+        stream.write_all(&batch[..4]).unwrap();
+        stream.flush().unwrap();
+        match crate::wire::read_frame(&mut stream) {
+            Ok(Frame::ProtocolError { code, .. }) => assert_eq!(code, "timeout"),
+            other => panic!("expected a timeout protocol error, got {other:?}"),
+        }
+        assert_eq!(stream.read(&mut buf).unwrap_or(0), 0, "expected EOF");
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_bounded_despite_an_idle_client() {
+        let server = Server::spawn_with_limits(
+            EngineConfig::p_base(),
+            2,
+            &[TenantSpec::new("acme", "topsecret")],
+            GatewayLimits {
+                read_timeout: Duration::from_millis(200),
+                ..GatewayLimits::default()
+            },
+        );
+        // An authenticated client that goes idle without goodbye must not
+        // pin shutdown: its connection thread unblocks at the deadline.
+        let client =
+            Client::connect(server.addr(), "acme", "topsecret", Actor::Controller).unwrap();
+        let started = Instant::now();
+        server.shutdown();
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "shutdown pinned by an idle client"
+        );
+        drop(client);
     }
 
     #[test]

@@ -91,6 +91,11 @@ pub enum WireError {
     },
     /// A string field was not valid UTF-8.
     BadUtf8,
+    /// A whole frame did not arrive within the receiver's read deadline.
+    /// Fatal: the stream may be stalled mid-frame, so synchronization is
+    /// no longer known — and a peer that dribbles bytes slower than the
+    /// deadline is indistinguishable from a slow-loris hold.
+    Timeout,
     /// The peer reported a protocol error (decoded from a
     /// [`Frame::ProtocolError`] frame).
     Protocol(String),
@@ -109,6 +114,7 @@ impl WireError {
                 | WireError::BadVersion(_)
                 | WireError::UnknownFrame(_)
                 | WireError::Oversized(_)
+                | WireError::Timeout
         )
     }
 
@@ -124,6 +130,7 @@ impl WireError {
             WireError::Trailing(_) => "trailing",
             WireError::UnknownTag { .. } => "unknown-tag",
             WireError::BadUtf8 => "bad-utf8",
+            WireError::Timeout => "timeout",
             WireError::Protocol(_) => "protocol",
         }
     }
@@ -145,6 +152,7 @@ impl std::fmt::Display for WireError {
                 write!(f, "unknown {what} tag 0x{tag:02x}")
             }
             WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            WireError::Timeout => write!(f, "frame did not complete within the read deadline"),
             WireError::Protocol(detail) => write!(f, "peer reported: {detail}"),
         }
     }
@@ -836,5 +844,13 @@ mod tests {
     fn trailing_bytes_are_an_error() {
         let err = Frame::decode(0x06, &[0u8]).unwrap_err();
         assert_eq!(err, WireError::Trailing(1));
+    }
+
+    #[test]
+    fn timeout_is_fatal_with_a_stable_code() {
+        let err = WireError::Timeout;
+        assert!(err.is_fatal());
+        assert_eq!(err.code(), "timeout");
+        assert!(err.to_string().contains("deadline"));
     }
 }

@@ -16,6 +16,8 @@
 //! * [`clock::Meter`] — event counters (page I/O, tuple CPU, crypto bytes …)
 //!   that benches report next to times;
 //! * [`rng`] — seeded RNG helpers so every experiment is reproducible;
+//! * [`fault`] — the deterministic crash-injection plane the chaos
+//!   harness arms (free when disabled);
 //! * [`zipf::Zipfian`] — the YCSB-style skewed key sampler;
 //! * [`stats`] — Welford online stats and percentile helpers;
 //! * [`report`] — minimal fixed-width / markdown / CSV table rendering used
@@ -23,6 +25,7 @@
 
 pub mod clock;
 pub mod cost;
+pub mod fault;
 pub mod report;
 pub mod rng;
 pub mod stats;
@@ -30,6 +33,7 @@ pub mod zipf;
 
 pub use clock::{Meter, MeterSnapshot, SimClock};
 pub use cost::CostModel;
+pub use fault::{CrashPoint, CrashSignal, FaultInjector};
 pub use time::{Dur, Ts};
 
 pub mod time {

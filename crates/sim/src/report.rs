@@ -45,6 +45,12 @@ impl Table {
         self.rows.is_empty()
     }
 
+    /// The data rows, in insertion order (tests enumerate figure
+    /// contents through this).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     fn widths(&self) -> Vec<usize> {
         let mut w: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
         for row in &self.rows {

@@ -50,8 +50,9 @@ use datacase_sim::{Meter, SimClock};
 
 use crate::error::{Result, StorageError};
 use crate::forensic::{scan_heap, ForensicFindings};
-use crate::heap::HeapDb;
-use crate::lsm::{Entry, LsmConfig, LsmTree};
+use crate::heap::{HeapConfig, HeapDb};
+use crate::lsm::{Entry, LsmConfig, LsmTree, RunManifest};
+use crate::wal::WalRecord;
 
 /// Which storage substrate backs an engine.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -113,6 +114,50 @@ pub struct BackendStats {
     pub log_bytes: u64,
     /// Storage segments: heap pages or LSM runs.
     pub segments: usize,
+}
+
+/// A backend's durable layer, cloned out for crash recovery.
+///
+/// What survives a crash differs per substrate — the heap's truth is its
+/// retained WAL (replayed logically by [`HeapDb::recover`]), the LSM's is
+/// its committed [`RunManifest`] (reopened by [`LsmTree::recover`]) — but
+/// the chaos harness salvages either through one typed value, taken from
+/// a wrecked engine via [`StorageBackend::durable_snapshot`] and turned
+/// back into a live substrate with [`recover_backend`].
+#[derive(Clone, Debug)]
+pub enum DurableSnapshot {
+    /// The heap's retained WAL records, in LSN order.
+    Heap(Vec<WalRecord>),
+    /// The LSM's last committed run manifest.
+    Lsm(RunManifest),
+}
+
+impl DurableSnapshot {
+    /// Which substrate this snapshot came from.
+    pub fn kind(&self) -> BackendKind {
+        match self {
+            DurableSnapshot::Heap(_) => BackendKind::Heap,
+            DurableSnapshot::Lsm(_) => BackendKind::Lsm,
+        }
+    }
+}
+
+/// Rebuild a live backend from a salvaged [`DurableSnapshot`]: WAL replay
+/// for the heap, manifest reopen for the LSM. Purely deterministic — two
+/// recoveries from the same snapshot yield identical physical state.
+pub fn recover_backend(
+    snapshot: DurableSnapshot,
+    heap: HeapConfig,
+    lsm: LsmConfig,
+    clock: SimClock,
+    meter: Arc<Meter>,
+) -> Box<dyn StorageBackend> {
+    match snapshot {
+        DurableSnapshot::Heap(records) => Box::new(HeapDb::recover(records, heap, clock, meter)),
+        DurableSnapshot::Lsm(manifest) => {
+            Box::new(LsmBackend::recover(manifest, lsm, clock, meter))
+        }
+    }
 }
 
 /// The storage contract the compliant engine composes over.
@@ -187,6 +232,10 @@ pub trait StorageBackend: Send {
 
     /// Statistics on the shared vocabulary.
     fn stats(&self) -> BackendStats;
+
+    /// Clone out the substrate's durable layer (retained WAL / committed
+    /// run manifest) for crash recovery. See [`DurableSnapshot`].
+    fn durable_snapshot(&self) -> DurableSnapshot;
 
     // ------------------------------------------------------------------
     // Deferred sector crypto (pipeline offload; optional)
@@ -298,6 +347,10 @@ impl StorageBackend for HeapDb {
         }
     }
 
+    fn durable_snapshot(&self) -> DurableSnapshot {
+        DurableSnapshot::Heap(self.wal_records())
+    }
+
     fn set_deferred_sector_crypto(&mut self, on: bool) {
         self.disk_mut().set_deferred_crypto(on);
     }
@@ -357,6 +410,23 @@ impl LsmBackend {
             tree: LsmTree::default_single(),
             live: 0,
         }
+    }
+
+    /// Rebuild a backend from a durable [`RunManifest`] (crash recovery).
+    /// The live-row counter is recomputed from the recovered runs, so it
+    /// reflects exactly what survived.
+    pub fn recover(
+        manifest: RunManifest,
+        config: LsmConfig,
+        clock: SimClock,
+        meter: Arc<Meter>,
+    ) -> LsmBackend {
+        let mut backend = LsmBackend {
+            tree: LsmTree::recover(manifest, config, clock, meter),
+            live: 0,
+        };
+        backend.live = backend.tree.range_units(0, u64::MAX).len() as u64;
+        backend
     }
 
     /// The wrapped tree (ablations, forensics).
@@ -522,6 +592,10 @@ impl StorageBackend for LsmBackend {
             log_bytes: 0,
             segments: s.runs,
         }
+    }
+
+    fn durable_snapshot(&self) -> DurableSnapshot {
+        DurableSnapshot::Lsm(self.tree.manifest())
     }
 }
 

@@ -18,6 +18,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 use datacase_crypto::sector::SectorCipher;
 use datacase_crypto::CryptoBackend;
+use datacase_sim::fault::{CrashPoint, FaultInjector};
 use datacase_sim::{Meter, SimClock};
 
 use crate::btree::BTreeIndex;
@@ -52,6 +53,9 @@ pub struct HeapConfig {
     /// [`crypto_backend`](HeapConfig::crypto_backend) resolves to the
     /// reference path, so A/B baselines keep their honest cost.
     pub sector_keystream_pages: usize,
+    /// Crash-injection plane shared with the engine (chaos harness).
+    /// The disabled default makes every tap a single `None` check.
+    pub fault: FaultInjector,
 }
 
 impl Default for HeapConfig {
@@ -62,6 +66,7 @@ impl Default for HeapConfig {
             fsync_per_commit: true,
             crypto_backend: CryptoBackend::Auto,
             sector_keystream_pages: 4096,
+            fault: FaultInjector::disabled(),
         }
     }
 }
@@ -192,6 +197,14 @@ impl HeapDb {
         }
     }
 
+    /// Append a WAL record through the crash-injection tap: an armed
+    /// `wal-append` crash fires *before* the record is durable, so
+    /// recovery replays a log that never saw it.
+    fn log(&mut self, rec: WalRecord) {
+        self.config.fault.hit(CrashPoint::WalAppend);
+        self.wal.append(rec);
+    }
+
     fn disk_page(&self, pos: u32) -> u32 {
         self.pages[pos as usize]
     }
@@ -259,7 +272,7 @@ impl HeapDb {
         let encoded = tuple::encode(&header, payload);
         let tid = self.place_tuple(&encoded)?;
         self.index.insert(key, tid);
-        self.wal.append(WalRecord::Insert {
+        self.log(WalRecord::Insert {
             xid,
             key,
             unit_id,
@@ -315,7 +328,7 @@ impl HeapDb {
         let encoded = tuple::encode(&header, payload);
         let tid = self.place_tuple(&encoded)?;
         self.index.insert(key, tid);
-        self.wal.append(WalRecord::Update {
+        self.log(WalRecord::Update {
             xid,
             key,
             unit_id: old_header.unit_id,
@@ -363,7 +376,7 @@ impl HeapDb {
         let bytes = page.tuple_mut(tid.slot).expect("visible tuple");
         tuple::patch_header(bytes, &header);
         self.dead_pages.insert(tid.page);
-        self.wal.append(WalRecord::Delete {
+        self.log(WalRecord::Delete {
             xid,
             key,
             unit_id: header.unit_id,
@@ -468,7 +481,7 @@ impl HeapDb {
             }
         }
         self.dead = self.dead.saturating_sub(stats.tuples_reclaimed as u64);
-        self.wal.append(WalRecord::Vacuum { xid, full: false });
+        self.log(WalRecord::Vacuum { xid, full: false });
         self.commit();
         stats
     }
@@ -546,7 +559,7 @@ impl HeapDb {
         }
         self.dead = 0;
         self.dead_pages.clear();
-        self.wal.append(WalRecord::Vacuum { xid, full: true });
+        self.log(WalRecord::Vacuum { xid, full: true });
         self.commit();
         stats.index_entries_removed = stats.tuples_reclaimed;
         stats
@@ -555,6 +568,7 @@ impl HeapDb {
     /// Checkpoint: flush dirty buffers so the disk matches the logical
     /// state (forensics and recovery both start from here).
     pub fn checkpoint(&mut self) {
+        self.config.fault.hit(CrashPoint::Checkpoint);
         self.buffer.flush_all(&mut self.disk);
         self.wal.append(WalRecord::Checkpoint);
         self.wal.flush();
@@ -599,6 +613,7 @@ impl HeapDb {
 
     /// Scrub one unit's WAL payloads (permanent deletion's log step).
     pub fn scrub_wal_unit(&mut self, unit: u64) -> usize {
+        self.config.fault.hit(CrashPoint::PurgeUnit);
         self.wal.scrub_unit(unit)
     }
 

@@ -14,6 +14,7 @@ pub mod sstable;
 
 use std::sync::Arc;
 
+use datacase_sim::fault::{CrashPoint, FaultInjector};
 use datacase_sim::{Meter, SimClock};
 
 pub use memtable::{Entry, Memtable};
@@ -26,6 +27,8 @@ pub struct LsmConfig {
     pub memtable_bytes: usize,
     /// Compact a level when it accumulates this many runs.
     pub runs_per_level: usize,
+    /// Crash-injection plane shared with the engine (chaos harness).
+    pub fault: FaultInjector,
 }
 
 impl Default for LsmConfig {
@@ -33,7 +36,37 @@ impl Default for LsmConfig {
         LsmConfig {
             memtable_bytes: 64 * 1024,
             runs_per_level: 4,
+            fault: FaultInjector::disabled(),
         }
+    }
+}
+
+/// The tree's durable run set: what survives a crash.
+///
+/// The manifest is the LSM analogue of the heap's retained WAL — a
+/// consistent snapshot of every on-disk run plus the highest sequence
+/// number they contain. It is committed by whole-value assignment only
+/// *after* a flush, compaction, or unit purge completes, so a crash in
+/// the middle of any of those leaves the manifest pointing at the
+/// previous, fully-written run set (in-flight merge outputs are simply
+/// garbage, exactly like half-written SSTable files under a real
+/// manifest). Memtable contents are volatile and are *not* covered —
+/// recovering them is the engine layer's job (WAL-style replay).
+///
+/// Runs are shared with the live tree via `Arc`, so committing a
+/// manifest never copies run data.
+#[derive(Clone, Debug, Default)]
+pub struct RunManifest {
+    /// The levelled run set; same shape as the live tree's levels.
+    pub levels: Vec<Vec<Arc<SsTable>>>,
+    /// Highest sequence number appearing in any manifest run.
+    pub seq: u64,
+}
+
+impl RunManifest {
+    /// Total number of runs across levels.
+    pub fn runs(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
     }
 }
 
@@ -57,8 +90,10 @@ pub struct LsmTree {
     config: LsmConfig,
     memtable: Memtable,
     /// levels[0] holds the newest runs; within a level, later = newer.
-    levels: Vec<Vec<SsTable>>,
+    levels: Vec<Vec<Arc<SsTable>>>,
     seq: u64,
+    /// Last committed durable run set (see [`RunManifest`]).
+    durable: RunManifest,
     clock: SimClock,
     meter: Arc<Meter>,
 }
@@ -80,9 +115,50 @@ impl LsmTree {
             memtable: Memtable::new(),
             levels: vec![Vec::new()],
             seq: 0,
+            durable: RunManifest::default(),
             clock,
             meter,
         }
+    }
+
+    /// Rebuild a tree from a durable [`RunManifest`] (crash recovery):
+    /// the manifest's runs become the levels, the memtable starts empty,
+    /// and sequence numbers continue from the highest durable one. The
+    /// LSM counterpart of [`HeapDb::recover`](crate::heap::HeapDb::recover).
+    pub fn recover(
+        manifest: RunManifest,
+        config: LsmConfig,
+        clock: SimClock,
+        meter: Arc<Meter>,
+    ) -> LsmTree {
+        let mut levels = manifest.levels.clone();
+        if levels.is_empty() {
+            levels.push(Vec::new());
+        }
+        LsmTree {
+            config,
+            memtable: Memtable::new(),
+            levels,
+            seq: manifest.seq,
+            durable: manifest,
+            clock,
+            meter,
+        }
+    }
+
+    /// The last committed durable run set. Cheap: runs are `Arc`-shared.
+    pub fn manifest(&self) -> RunManifest {
+        self.durable.clone()
+    }
+
+    /// Commit the current run set as durable. Called only at the *end* of
+    /// a flush / compaction / purge, so an injected crash inside those
+    /// operations leaves the previous manifest in force.
+    fn commit_manifest(&mut self) {
+        self.durable = RunManifest {
+            levels: self.levels.clone(),
+            seq: self.seq,
+        };
     }
 
     /// A tree with default config on a fresh clock/meter.
@@ -175,7 +251,10 @@ impl LsmTree {
         );
         Meter::bump(&self.meter.pages_written, 1);
         let run = SsTable::build(entries);
-        self.levels[0].push(run);
+        self.levels[0].push(Arc::new(run));
+        // The new run is durable before any compaction it triggers: a
+        // crash mid-compaction must not lose the flushed data.
+        self.commit_manifest();
         self.maybe_compact();
     }
 
@@ -195,7 +274,8 @@ impl LsmTree {
     /// (nothing older can hide under them) — the rule whose consequence is
     /// long physical retention of "deleted" data.
     fn compact_level(&mut self, level: usize) {
-        let runs: Vec<SsTable> = std::mem::take(&mut self.levels[level]);
+        self.config.fault.hit(CrashPoint::Compaction);
+        let runs: Vec<Arc<SsTable>> = std::mem::take(&mut self.levels[level]);
         if self.levels.len() == level + 1 {
             self.levels.push(Vec::new());
         }
@@ -205,7 +285,8 @@ impl LsmTree {
         self.clock
             .charge_nanos(self.clock.model().compaction_per_byte * bytes);
         Meter::bump(&self.meter.compaction_bytes, bytes);
-        self.levels[level + 1].push(merged);
+        self.levels[level + 1].push(Arc::new(merged));
+        self.commit_manifest();
     }
 
     /// Force a full compaction: flush, then merge everything into one run,
@@ -213,9 +294,11 @@ impl LsmTree {
     /// physical deletion.
     pub fn compact_all(&mut self) {
         self.flush();
-        let all: Vec<SsTable> = self.levels.drain(..).flatten().collect();
+        self.config.fault.hit(CrashPoint::Compaction);
+        let all: Vec<Arc<SsTable>> = self.levels.drain(..).flatten().collect();
         if all.is_empty() {
             self.levels.push(Vec::new());
+            self.commit_manifest();
             return;
         }
         let merged = SsTable::merge(&all, true);
@@ -225,7 +308,8 @@ impl LsmTree {
         Meter::bump(&self.meter.compaction_bytes, bytes);
         self.levels.clear();
         self.levels.push(Vec::new());
-        self.levels.push(vec![merged]);
+        self.levels.push(vec![Arc::new(merged)]);
+        self.commit_manifest();
     }
 
     /// Scan every physical byte of every run for `needle` — the forensic
@@ -310,17 +394,19 @@ impl LsmTree {
     /// "sanitisation" for permanent deletion). Expensive: full rewrite.
     pub fn purge_unit(&mut self, unit_id: u64) -> usize {
         self.flush();
+        self.config.fault.hit(CrashPoint::PurgeUnit);
         let mut purged = 0;
         for level in &mut self.levels {
             for run in level.iter_mut() {
                 let (new_run, removed) = run.without_unit(unit_id);
                 purged += removed;
-                *run = new_run;
+                *run = Arc::new(new_run);
             }
         }
         let total_bytes: u64 = self.levels.iter().flatten().map(|r| r.bytes()).sum();
         self.clock
             .charge_nanos(self.clock.model().compaction_per_byte * total_bytes);
+        self.commit_manifest();
         purged
     }
 
@@ -418,6 +504,7 @@ mod tests {
             LsmConfig {
                 memtable_bytes: 1024,
                 runs_per_level: 2,
+                ..LsmConfig::default()
             },
             SimClock::commodity(),
             Arc::new(Meter::new()),
@@ -463,6 +550,91 @@ mod tests {
     }
 
     #[test]
+    fn manifest_recovery_restores_flushed_state() {
+        let mut t = mk();
+        t.put(1, 1, b"durable-one");
+        t.put(2, 2, b"durable-two");
+        t.flush();
+        t.delete(1, 1);
+        t.flush();
+        t.put(3, 3, b"volatile-unflushed"); // memtable only: lost on crash
+        let manifest = t.manifest();
+        assert!(manifest.runs() > 0);
+        let mut r = LsmTree::recover(
+            manifest,
+            LsmConfig::default(),
+            SimClock::commodity(),
+            Arc::new(Meter::new()),
+        );
+        assert_eq!(r.get(1), None, "flushed tombstone survives");
+        assert_eq!(r.get(2).unwrap(), b"durable-two");
+        assert_eq!(r.get(3), None, "memtable contents are volatile");
+        // Sequence numbers continue above every durable entry.
+        r.put(2, 2, b"post-recovery");
+        assert_eq!(r.get(2).unwrap(), b"post-recovery");
+    }
+
+    #[test]
+    fn crash_mid_compaction_leaves_precompaction_manifest() {
+        let fault = FaultInjector::armed(CrashPoint::Compaction, 1);
+        let mut t = LsmTree::new(
+            LsmConfig {
+                memtable_bytes: 256,
+                runs_per_level: 2,
+                fault: fault.clone(),
+            },
+            SimClock::commodity(),
+            Arc::new(Meter::new()),
+        );
+        let crash = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            for i in 0..200u64 {
+                t.put(i, i, format!("compaction-victim-{i:03}").as_bytes());
+            }
+        }))
+        .expect_err("small runs_per_level must trigger a compaction");
+        assert!(crash
+            .downcast_ref::<datacase_sim::fault::CrashSignal>()
+            .is_some());
+        assert!(fault.fired());
+        // The manifest still holds the pre-compaction runs: every key
+        // flushed before the crash is readable after recovery.
+        let manifest = t.manifest();
+        assert!(manifest.runs() >= 2, "uncompacted runs survive");
+        let mut r = LsmTree::recover(
+            manifest,
+            LsmConfig::default(),
+            SimClock::commodity(),
+            Arc::new(Meter::new()),
+        );
+        let recovered = r.range(0, 200).len();
+        assert!(recovered > 0, "flushed data survives the crash");
+        for (k, v) in r.range(0, 200) {
+            assert_eq!(v, format!("compaction-victim-{k:03}").as_bytes());
+        }
+    }
+
+    #[test]
+    fn purge_survives_manifest_recovery() {
+        let mut t = mk();
+        t.put(1, 100, b"purge-me-pii");
+        t.put(2, 200, b"keep-me");
+        t.flush();
+        t.purge_unit(100);
+        let mut r = LsmTree::recover(
+            t.manifest(),
+            LsmConfig::default(),
+            SimClock::commodity(),
+            Arc::new(Meter::new()),
+        );
+        assert_eq!(
+            r.scan_physical(b"purge-me-pii"),
+            0,
+            "purged bytes must not resurrect through recovery"
+        );
+        assert_eq!(r.get(2).unwrap(), b"keep-me");
+    }
+
+    #[test]
     fn deletes_are_cheap_compared_to_heap_vacuum_full() {
         // Sanity on the cost asymmetry the paper's intro cites.
         let t0;
@@ -489,7 +661,7 @@ mod tests {
                 (0u64..30, proptest::bool::ANY, proptest::collection::vec(1u8..=255, 1..30)), 1..200)
         ) {
             let mut t = LsmTree::new(
-                LsmConfig { memtable_bytes: 512, runs_per_level: 2 },
+                LsmConfig { memtable_bytes: 512, runs_per_level: 2, ..LsmConfig::default() },
                 SimClock::commodity(),
                 Arc::new(Meter::new()),
             );

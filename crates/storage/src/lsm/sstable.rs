@@ -79,11 +79,15 @@ impl SsTable {
     /// K-way merge of runs, newest entry per key surviving. When
     /// `drop_tombstones` (merging into the last level), tombstones are
     /// discarded once they have shadowed everything below.
-    pub fn merge(runs: &[SsTable], drop_tombstones: bool) -> SsTable {
+    ///
+    /// Generic over anything that borrows a run (`SsTable`,
+    /// `Arc<SsTable>`), since the tree shares its immutable runs with the
+    /// durable manifest.
+    pub fn merge<R: std::borrow::Borrow<SsTable>>(runs: &[R], drop_tombstones: bool) -> SsTable {
         use std::collections::BTreeMap;
         let mut best: BTreeMap<u64, &Entry> = BTreeMap::new();
         for run in runs {
-            for (k, e) in &run.entries {
+            for (k, e) in &run.borrow().entries {
                 match best.get(k) {
                     Some(cur) if cur.seq() >= e.seq() => {}
                     _ => {

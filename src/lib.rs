@@ -20,11 +20,16 @@
 //! assert_eq!(clock.now(), Ts::ZERO);
 //! ```
 //!
+//! The deterministic chaos harness (`chaos`) replays seeded compliance
+//! scenarios under named crash points and holds recovery to the paper's
+//! groundings; `repro chaos` runs its matrix.
+//!
 //! See the `examples/` directory for runnable end-to-end scenarios and
 //! `crates/bench` for the harness that regenerates every table and figure
 //! of the paper.
 
 pub use datacase_audit as audit;
+pub use datacase_chaos as chaos;
 pub use datacase_core as core;
 pub use datacase_crypto as crypto;
 pub use datacase_engine as engine;

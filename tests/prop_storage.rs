@@ -109,7 +109,7 @@ proptest! {
         ops in proptest::collection::vec((0u64..20, any::<bool>()), 1..100)
     ) {
         let mut t = LsmTree::new(
-            LsmConfig { memtable_bytes: 256, runs_per_level: 2 },
+            LsmConfig { memtable_bytes: 256, runs_per_level: 2, ..LsmConfig::default() },
             SimClock::commodity(),
             Arc::new(Meter::new()),
         );
